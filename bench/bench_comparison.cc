@@ -1,0 +1,87 @@
+// §5.3 — comparison to prior diagnosis approaches on the Table 3 corpus.
+//
+// Runs the reimplemented baselines on every Syzkaller bug and scores them
+// against the scenario ground truth:
+//
+//  - AITIA: diagnosed iff LIFS reproduces and the chain is non-empty.
+//  - Kairux (inflection point): reports one instruction; counted adequate
+//    only when the true chain has a single race (otherwise the single
+//    instruction cannot be a comprehensive root cause).
+//  - Gist/Snorlax (cooperative localization): adequate iff a top-3 ranked
+//    single-variable pattern touches a true racing variable AND the bug is
+//    single-variable (multi-variable chains are outside the pattern set).
+//  - MUVI: adequate iff its access-correlation assumption measurably holds
+//    for the racing variables AND the bug is multi-variable.
+//
+// Paper result to reproduce: AITIA 12/12; pattern-based localization ~6/12
+// (the single-variable half); MUVI 3/12 (the tightly-correlated
+// multi-variable bugs).
+
+#include <cstdio>
+#include <set>
+
+#include "src/baselines/coop.h"
+#include "src/baselines/inflection.h"
+#include "src/baselines/muvi.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+
+int main() {
+  using namespace aitia;
+  std::printf("=== §5.3: AITIA vs Kairux vs Gist/Snorlax vs MUVI (Table 3 corpus) ===\n\n");
+  std::printf("%-8s %-7s | %-6s %-7s %-5s %-5s\n", "Bug", "Multi?", "AITIA", "Kairux",
+              "Coop", "MUVI");
+  std::printf("%s\n", std::string(50, '-').c_str());
+
+  int aitia_ok = 0;
+  int kairux_ok = 0;
+  int coop_ok = 0;
+  int muvi_ok = 0;
+
+  for (const ScenarioEntry& entry : Table3Scenarios()) {
+    BugScenario s = entry.make();
+    const KernelImage& image = *s.image;
+
+    AitiaOptions options;
+    options.lifs.target_type = s.truth.failure_type;
+    AitiaReport report = DiagnoseSlice(image, s.slice, s.setup, options);
+    const bool aitia = report.diagnosed && report.causality.chain.race_count() >= 1;
+
+    bool kairux = false;
+    if (report.diagnosed) {
+      InflectionResult inf = FindInflectionPoint(image, s.slice, s.setup,
+                                                 report.lifs.failing_run);
+      kairux = inf.found && report.causality.chain.race_count() == 1;
+    }
+
+    // Gist/Snorlax-style: statistical pattern ranking over sampled runs.
+    const auto racing_ranges = RacingAddressRanges(s);
+    CoopResult coop = RunCoopLocalization(image, s.slice, s.setup);
+    bool coop_hits_var = false;
+    for (size_t i = 0; i < coop.ranked.size() && i < 3; ++i) {
+      if (InRanges(racing_ranges, coop.ranked[i].addr)) {
+        coop_hits_var = true;
+      }
+    }
+    const bool coop_adequate = coop_hits_var && !s.truth.multi_variable;
+
+    MuviResult muvi = RunMuvi(s.MakeWorkload(), s.truth.racing_globals);
+    const bool muvi_adequate = muvi.assumption_holds && s.truth.multi_variable;
+
+    aitia_ok += aitia ? 1 : 0;
+    kairux_ok += kairux ? 1 : 0;
+    coop_ok += coop_adequate ? 1 : 0;
+    muvi_ok += muvi_adequate ? 1 : 0;
+
+    std::printf("%-8s %-7s | %-6s %-7s %-5s %-5s\n", s.id.c_str(),
+                s.truth.multi_variable ? (s.truth.loosely_correlated ? "Yes*" : "Yes") : "No",
+                aitia ? "yes" : "NO", kairux ? "yes" : "-", coop_adequate ? "yes" : "-",
+                muvi_adequate ? "yes" : "-");
+  }
+  std::printf("%s\n", std::string(50, '-').c_str());
+  std::printf("diagnosed adequately: AITIA %d/12, Kairux %d/12, Coop %d/12, MUVI %d/12\n",
+              aitia_ok, kairux_ok, coop_ok, muvi_ok);
+  std::printf("(paper: AITIA 12/12; Gist/Snorlax cannot diagnose the 6 multi-variable\n"
+              " bugs; MUVI explains only the 3 tightly-correlated multi-variable bugs)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// §5.2 Conciseness — how much a causality chain shrinks the developer's
+// search space.
+//
+// Paper numbers on real kernels: an average failed execution contains
+// 9592.8 memory-accessing instructions and 108.4 individual data races,
+// while the causality chain averages 3.0 races with zero benign entries.
+// The simulator's absolute counts are smaller (scenarios are distilled), but
+// the *orders-of-magnitude collapse* — accesses >> raw races >> chain — is
+// the reproduced result, together with "no benign race ever enters a chain".
+
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/racecount.h"
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/fuzz/fuzzer.h"
+
+int main() {
+  using namespace aitia;
+  std::printf("=== §5.2: conciseness of causality chains ===\n\n");
+  std::printf("%-16s | %10s %10s %12s | %8s %8s\n", "Bug", "accesses", "raw races",
+              "benign found", "chain", "ambig");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  double sum_access = 0;
+  double sum_races = 0;
+  double sum_chain = 0;
+  int n = 0;
+  int benign_in_chain = 0;
+
+  for (const ScenarioEntry& entry : AllScenarios()) {
+    std::string id(entry.id);
+    if (id.rfind("fig-", 0) == 0 || id.rfind("ext-", 0) == 0) {
+      continue;  // the tables cover only the 22 real-world bugs
+    }
+    BugScenario s = entry.make();
+    AitiaReport report = DiagnoseScenario(s);
+    if (!report.diagnosed) {
+      continue;
+    }
+    // The "failed execution" a developer would be handed is the bug
+    // finder's full run — syscalls plus background kernel activity — not
+    // the minimal reproduction slice.
+    FuzzOutcome fuzz = FuzzUntilFailure(s.MakeWorkload());
+    const RunResult& failed_exec =
+        fuzz.found ? fuzz.run : report.lifs.failing_run;
+    RawRaceStats raw = CountRawRaces(failed_exec);
+    // Include phantom pairs — everything a developer would have to triage
+    // without Causality Analysis.
+    const int64_t raw_races =
+        raw.data_races + static_cast<int64_t>(report.lifs.phantom_races.size());
+
+    // Cross-check: no benign verdict inside the chain.
+    for (const ChainNode& node : report.causality.chain.nodes()) {
+      for (const RacePair& race : node.races) {
+        for (const TestedRace& t : report.causality.tested) {
+          if (t.race.first.di == race.first.di && t.race.second.di == race.second.di &&
+              t.verdict == RaceVerdict::kBenign) {
+            ++benign_in_chain;
+          }
+        }
+      }
+    }
+
+    sum_access += static_cast<double>(raw.memory_accessing_instructions);
+    sum_races += static_cast<double>(raw_races);
+    sum_chain += static_cast<double>(report.causality.chain.race_count());
+    ++n;
+    std::printf("%-16s | %10lld %10lld %12d | %8zu %8s\n", s.id.c_str(),
+                static_cast<long long>(raw.memory_accessing_instructions),
+                static_cast<long long>(raw_races), report.causality.benign_count,
+                report.causality.chain.race_count(),
+                report.causality.ambiguous ? "yes" : "no");
+  }
+  std::printf("%s\n", std::string(78, '-').c_str());
+  std::printf("averages over %d bugs: %.1f accesses, %.1f raw races -> %.1f races in chain\n",
+              n, sum_access / n, sum_races / n, sum_chain / n);
+  std::printf("benign races inside chains: %d (paper: 0)\n", benign_in_chain);
+  std::printf("(paper averages: 9592.8 accesses, 108.4 races -> 3.0 races in chain)\n");
+  return 0;
+}

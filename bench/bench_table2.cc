@@ -1,0 +1,81 @@
+// Table 2 — CVEs caused by concurrency failures in Linux.
+//
+// Regenerates the paper's columns per CVE: LIFS time and schedule count, the
+// interleaving count at reproduction, and Causality Analysis time and
+// schedule count. Absolute times are milliseconds here (deterministic
+// simulator) versus the paper's seconds (real kernel in a VM that must
+// reboot after every crash); the reproduced *shape* is what matters:
+// every CVE reproduces with 1-2 interleavings, and CA runs more schedules
+// relative to its stage than LIFS needs to reproduce.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+
+namespace {
+
+struct PaperRow {
+  double lifs_s;
+  int lifs_sched;
+  int inter;
+  double ca_s;
+  int ca_sched;
+};
+
+const std::map<std::string, PaperRow> kPaper = {
+    {"CVE-2019-11486", {44.7, 225, 1, 497.6, 130}},
+    {"CVE-2019-6974", {103.8, 664, 1, 1183.8, 688}},
+    {"CVE-2018-12232", {37.8, 536, 1, 511.4, 680}},
+    {"CVE-2017-15649", {88, 1052, 2, 337.9, 257}},
+    {"CVE-2017-10661", {32.8, 99, 1, 336.1, 266}},
+    {"CVE-2017-7533", {64.5, 1056, 1, 1846.7, 1578}},
+    {"CVE-2017-2671", {33.2, 130, 1, 195.3, 159}},
+    {"CVE-2017-2636", {34.3, 197, 1, 270, 215}},
+    {"CVE-2016-10200", {32.8, 112, 1, 184.9, 159}},
+    {"CVE-2016-8655", {47.8, 213, 1, 184, 135}},
+};
+
+}  // namespace
+
+int main() {
+  using namespace aitia;
+  std::printf("=== Table 2: CVEs caused by a concurrency failure in Linux ===\n");
+  std::printf("(measured on the simulator substrate; paper values in parentheses)\n\n");
+  std::printf("%-16s %-14s | %10s %8s %6s | %10s %8s | %s\n", "Bug ID", "Subsystem",
+              "LIFS ms", "# sched", "Inter.", "CA ms", "# sched", "ambig");
+  std::printf("%s\n", std::string(104, '-').c_str());
+
+  int reproduced = 0;
+  int ambiguous = 0;
+  for (const ScenarioEntry& entry : Table2Scenarios()) {
+    BugScenario s = entry.make();
+    AitiaOptions options;
+    options.lifs.target_type = s.truth.failure_type;
+    options.causality.workers = 4;
+    AitiaReport report = DiagnoseSlice(*s.image, s.slice, s.setup, options);
+    const PaperRow& paper = kPaper.at(s.id);
+    if (!report.diagnosed) {
+      std::printf("%-16s %-14s NOT REPRODUCED\n", s.id.c_str(), s.subsystem.c_str());
+      continue;
+    }
+    ++reproduced;
+    if (report.causality.ambiguous) {
+      ++ambiguous;
+    }
+    std::printf("%-16s %-14s | %6.2f (%5.0fs) %4lld (%4d) %3d (%d) | %6.2f (%6.0fs) %4lld (%4d) | %s\n",
+                s.id.c_str(), s.subsystem.c_str(), report.lifs.seconds * 1e3, paper.lifs_s,
+                static_cast<long long>(report.lifs.schedules_executed), paper.lifs_sched,
+                report.lifs.interleaving_count, paper.inter,
+                report.causality.seconds * 1e3, paper.ca_s,
+                static_cast<long long>(report.causality.schedules_executed), paper.ca_sched,
+                report.causality.ambiguous ? "yes" : "no");
+  }
+  std::printf("%s\n", std::string(104, '-').c_str());
+  std::printf("reproduced %d/10; chains built for all reproduced CVEs; %d ambiguous case(s)\n",
+              reproduced, ambiguous);
+  std::printf("(paper: 9/10 full chains, CVE-2016-10200 the single ambiguous case)\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+function(aitia_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE
+      aitia_core aitia_bugs aitia_fuzz aitia_baselines benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+aitia_bench(bench_table1)
+aitia_bench(bench_table2)
+aitia_bench(bench_table3)
+aitia_bench(bench_fig5)
+aitia_bench(bench_conciseness)
+aitia_bench(bench_comparison)
+aitia_bench(bench_ablation)
+aitia_bench(bench_micro)

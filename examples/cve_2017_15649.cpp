@@ -1,0 +1,58 @@
+// cve_2017_15649 — the paper's flagship multi-variable race (Figures 2 & 6).
+//
+// Reproduces the packet-fanout BUG_ON and prints every Causality Analysis
+// step: which data race was flipped, what the kernel did under the flipped
+// schedule, and how the verdicts assemble into the Figure 6 chain
+//
+//   (A2 => B11) ∧ (B2 => A6) --> (A6 => B12) --> (B17 => A12) --> BUG_ON
+
+#include <cstdio>
+
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+
+int main() {
+  using namespace aitia;
+
+  BugScenario s = MakeScenario("CVE-2017-15649");
+  const KernelImage& image = *s.image;
+
+  AitiaOptions options;
+  options.lifs.target_type = s.truth.failure_type;
+  AitiaReport report = DiagnoseSlice(image, s.slice, s.setup, options);
+  if (!report.diagnosed) {
+    std::printf("failed to reproduce CVE-2017-15649\n");
+    return 1;
+  }
+
+  std::printf("=== CVE-2017-15649: packet fanout multi-variable race ===\n\n");
+  std::printf("LIFS reproduced the BUG_ON with %d preemption(s) after %lld schedule(s).\n",
+              report.lifs.interleaving_count,
+              static_cast<long long>(report.lifs.schedules_executed));
+  std::printf("failure-causing instruction sequence (Figure 6 'Input'):\n");
+  for (const ExecEvent& e : report.lifs.failing_run.trace) {
+    if (e.is_access) {
+      std::printf("    %s\n", image.Describe(e.di.at).c_str());
+    }
+  }
+
+  std::printf("\nCausality Analysis steps (backward, Figure 6a):\n");
+  int step = 1;
+  for (const TestedRace& t : report.causality.tested) {
+    std::printf("  step %d: flip %-14s -> %s%s\n", step++, RaceLabel(image, t.race).c_str(),
+                t.flip_still_failed ? "still fails: benign race"
+                                    : "failure gone: root cause",
+                t.phantom ? "  (phantom: second side reconstructed from a clean run)" : "");
+    for (size_t j : t.disappeared) {
+      std::printf("          while flipped, %s disappeared (race-steered control flow)\n",
+                  RaceLabel(image, report.causality.tested[j].race).c_str());
+    }
+  }
+
+  std::printf("\ncausality chain (Figure 6b):\n  %s\n\n",
+              report.causality.chain.Render(image).c_str());
+  std::printf("The developers' fix makes po->running and po->fanout be accessed\n"
+              "atomically — i.e. it forbids (A2 => B11) ∧ (B2 => A6), cutting the chain\n"
+              "at its first link, exactly what the chain prescribes.\n");
+  return 0;
+}

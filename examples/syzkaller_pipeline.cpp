@@ -1,0 +1,56 @@
+// syzkaller_pipeline — the full §4.1 workflow on the Figure 9 bug (syz-04).
+//
+//   1. a bug-finding system (our Syzkaller stand-in) fuzzes schedules until
+//      the irqfd use-after-free manifests, recording timestamped syscall
+//      traces and the coredump-style failure info;
+//   2. the modeling stage splits the history into slices;
+//   3. reproducers run LIFS on slices, backward from the failure;
+//   4. diagnosers run Causality Analysis on the reproduced sequence;
+//   5. the output is Figure 9(b): (A1 => B1) --> (K1 => A2) --> UAF.
+//
+// The interesting property (§5.2 case study): the causality crosses a thread
+// boundary through an asynchronous kworker — the free that kills A2 was
+// scheduled by *B*, and only because A1 => B1 exposed the object.
+
+#include <cstdio>
+
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/fuzz/fuzzer.h"
+
+int main() {
+  using namespace aitia;
+
+  BugScenario s = MakeScenario("syz-04");
+  const KernelImage& image = *s.image;
+
+  // Stage 1: fuzz until the kernel crashes.
+  FuzzOutcome fuzz = FuzzUntilFailure(s.MakeWorkload());
+  if (!fuzz.found) {
+    std::printf("fuzzer never hit the failure\n");
+    return 1;
+  }
+  std::printf("syzkaller-style fuzzer: crash after %d executions\n", fuzz.attempts);
+  std::printf("  crash report : %s\n", fuzz.history.failure->failure.ToString().c_str());
+  std::printf("  ftrace events: %zu history entries\n", fuzz.history.entries.size());
+
+  // Stage 2: modeling — group concurrent events into slices.
+  std::vector<Slice> slices = BuildSlices(fuzz.history);
+  std::printf("modeling: %zu candidate slice(s); best: %s\n", slices.size(),
+              slices.empty() ? "-" : slices.front().Describe().c_str());
+
+  // Stages 3-5.
+  AitiaReport report = DiagnoseHistory(image, fuzz.history);
+  if (!report.diagnosed) {
+    std::printf("diagnosis failed\n");
+    return 1;
+  }
+  std::printf("reproduced in slice %s with %d preemption(s)\n",
+              report.used_slice.Describe().c_str(), report.lifs.interleaving_count);
+  std::printf("\ncausality chain (Figure 9b):\n  %s\n\n",
+              report.causality.chain.Render(image).c_str());
+  std::printf("Note how the chain explains the asynchronous link: the kworker's kfree\n"
+              "(K1) only exists because B popped the half-initialized irqfd — which the\n"
+              "order A1 => B1 made visible too early.\n");
+  return 0;
+}

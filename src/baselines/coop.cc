@@ -1,0 +1,155 @@
+#include "src/baselines/coop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/sim/policy.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace {
+
+std::string Describe(const KernelImage& image, InstrAddr at) { return image.Describe(at); }
+
+// Pattern instance keys.
+using OrderKey = std::tuple<InstrAddr, InstrAddr, Addr>;
+using AtomKey = std::tuple<InstrAddr, InstrAddr, InstrAddr, Addr>;
+
+struct Tally {
+  int fail_with = 0;
+  int ok_with = 0;
+};
+
+// Extracts the single-variable pattern instances exhibited by one run.
+void ExtractPatterns(const RunResult& run, std::set<OrderKey>& orders,
+                     std::set<AtomKey>& atoms) {
+  const auto& trace = run.trace;
+  std::vector<size_t> accesses;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].is_access) {
+      accesses.push_back(i);
+    }
+  }
+  // Order violations: cross-thread conflicting pairs, as observed.
+  for (size_t jj = 0; jj < accesses.size(); ++jj) {
+    const ExecEvent& b = trace[accesses[jj]];
+    for (size_t ii = 0; ii < jj; ++ii) {
+      const ExecEvent& a = trace[accesses[ii]];
+      if (a.di.tid != b.di.tid && Conflicting(a, b)) {
+        orders.insert({a.di.at, b.di.at, b.addr});
+      }
+    }
+  }
+  // Atomicity violations: remote conflicting access between two same-thread
+  // accesses of the same address.
+  for (size_t ii = 0; ii < accesses.size(); ++ii) {
+    const ExecEvent& x1 = trace[accesses[ii]];
+    for (size_t kk = ii + 1; kk < accesses.size(); ++kk) {
+      const ExecEvent& x2 = trace[accesses[kk]];
+      if (x2.di.tid != x1.di.tid || x2.addr != x1.addr) {
+        continue;
+      }
+      for (size_t jj = ii + 1; jj < kk; ++jj) {
+        const ExecEvent& y = trace[accesses[jj]];
+        if (y.di.tid != x1.di.tid && y.addr == x1.addr &&
+            (y.is_write || x1.is_write || x2.is_write)) {
+          atoms.insert({x1.di.at, y.di.at, x2.di.at, y.addr});
+        }
+      }
+      break;  // only the immediately-next same-thread access of this addr
+    }
+  }
+}
+
+double Phi(int fail_with, int ok_with, int failed, int clean) {
+  // 2x2 contingency: pattern x failure.
+  const double a = fail_with;
+  const double b = ok_with;
+  const double c = failed - fail_with;
+  const double d = clean - ok_with;
+  const double denom = std::sqrt((a + b) * (c + d) * (a + c) * (b + d));
+  if (denom == 0) {
+    return 0;
+  }
+  return (a * d - b * c) / denom;
+}
+
+}  // namespace
+
+std::string CoopPattern::ToString(const KernelImage& image) const {
+  if (kind == CoopPatternKind::kOrderViolation) {
+    return StrFormat("order-violation  %s => %s  (phi %.2f)", Describe(image, first).c_str(),
+                     Describe(image, second).c_str(), correlation);
+  }
+  return StrFormat("atomicity-violation  %s .. [%s] .. %s  (phi %.2f)",
+                   Describe(image, first).c_str(), Describe(image, second).c_str(),
+                   Describe(image, third).c_str(), correlation);
+}
+
+CoopResult RunCoopLocalization(const KernelImage& image, const std::vector<ThreadSpec>& slice,
+                               const std::vector<ThreadSpec>& setup,
+                               const CoopOptions& options) {
+  CoopResult result;
+  std::map<OrderKey, Tally> order_tallies;
+  std::map<AtomKey, Tally> atom_tallies;
+
+  for (int i = 0; i < options.runs; ++i) {
+    KernelSim kernel(&image, slice, setup);
+    RandomPolicy policy(options.first_seed + static_cast<uint64_t>(i));
+    RunResult run = RunToCompletion(kernel, policy);
+    const bool failed = run.failure.has_value();
+    failed ? ++result.failed_runs : ++result.clean_runs;
+
+    std::set<OrderKey> orders;
+    std::set<AtomKey> atoms;
+    ExtractPatterns(run, orders, atoms);
+    for (const auto& key : orders) {
+      auto& tally = order_tallies[key];
+      failed ? ++tally.fail_with : ++tally.ok_with;
+    }
+    for (const auto& key : atoms) {
+      auto& tally = atom_tallies[key];
+      failed ? ++tally.fail_with : ++tally.ok_with;
+    }
+  }
+
+  for (const auto& [key, tally] : order_tallies) {
+    if (tally.fail_with < options.min_support) {
+      continue;
+    }
+    CoopPattern p;
+    p.kind = CoopPatternKind::kOrderViolation;
+    p.first = std::get<0>(key);
+    p.second = std::get<1>(key);
+    p.addr = std::get<2>(key);
+    p.fail_with = tally.fail_with;
+    p.ok_with = tally.ok_with;
+    p.correlation = Phi(tally.fail_with, tally.ok_with, result.failed_runs, result.clean_runs);
+    result.ranked.push_back(p);
+  }
+  for (const auto& [key, tally] : atom_tallies) {
+    if (tally.fail_with < options.min_support) {
+      continue;
+    }
+    CoopPattern p;
+    p.kind = CoopPatternKind::kAtomicityViolation;
+    p.first = std::get<0>(key);
+    p.second = std::get<1>(key);
+    p.third = std::get<2>(key);
+    p.addr = std::get<3>(key);
+    p.fail_with = tally.fail_with;
+    p.ok_with = tally.ok_with;
+    p.correlation = Phi(tally.fail_with, tally.ok_with, result.failed_runs, result.clean_runs);
+    result.ranked.push_back(p);
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const CoopPattern& x, const CoopPattern& y) {
+              return x.correlation > y.correlation;
+            });
+  return result;
+}
+
+}  // namespace aitia

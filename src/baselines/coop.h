@@ -1,0 +1,65 @@
+// Cooperative bug localization (Gist / Snorlax / CCI style, §5.3).
+//
+// These systems predefine single-variable interleaving patterns — order
+// violations (A => B vs B => A) and atomicity violations (a remote write
+// landing between two same-thread accesses) — sample many production runs,
+// and report the pattern instance with the strongest statistical correlation
+// to the failure.
+//
+// The reimplementation samples random schedules on the shared substrate and
+// ranks pattern instances by the phi coefficient between "pattern occurred"
+// and "run failed". Its structural limits are the point of the comparison:
+// a top-ranked single-variable pattern cannot express multi-variable chains
+// or race-steered control flows (Table 1 "Comprehensive"/"Pattern-agnostic").
+
+#ifndef SRC_BASELINES_COOP_H_
+#define SRC_BASELINES_COOP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/kernel.h"
+#include "src/sim/program.h"
+#include "src/sim/thread.h"
+
+namespace aitia {
+
+enum class CoopPatternKind { kOrderViolation, kAtomicityViolation };
+
+struct CoopPattern {
+  CoopPatternKind kind = CoopPatternKind::kOrderViolation;
+  // Order violation: first => second on `addr` correlates with failure.
+  // Atomicity violation: remote `second` between local `first` and `third`.
+  InstrAddr first;
+  InstrAddr second;
+  InstrAddr third;  // only for atomicity violations
+  Addr addr = 0;
+  double correlation = 0;  // phi coefficient
+  int fail_with = 0;       // failed runs exhibiting the pattern
+  int ok_with = 0;         // clean runs exhibiting the pattern
+
+  std::string ToString(const KernelImage& image) const;
+};
+
+struct CoopOptions {
+  int runs = 400;
+  uint64_t first_seed = 5000;
+  // Patterns must appear in at least this many failed runs to be ranked.
+  int min_support = 2;
+};
+
+struct CoopResult {
+  std::vector<CoopPattern> ranked;  // best correlation first
+  int failed_runs = 0;
+  int clean_runs = 0;
+
+  const CoopPattern* top() const { return ranked.empty() ? nullptr : &ranked.front(); }
+};
+
+CoopResult RunCoopLocalization(const KernelImage& image, const std::vector<ThreadSpec>& slice,
+                               const std::vector<ThreadSpec>& setup,
+                               const CoopOptions& options = {});
+
+}  // namespace aitia
+
+#endif  // SRC_BASELINES_COOP_H_

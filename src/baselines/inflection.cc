@@ -1,0 +1,83 @@
+#include "src/baselines/inflection.h"
+
+#include <set>
+#include <tuple>
+
+#include "src/sim/policy.h"
+
+namespace aitia {
+namespace {
+
+// An ordering decision: conflicting accesses (a, b) from different threads
+// observed in the order a => b.
+using Decision = std::tuple<ThreadId, InstrAddr, ThreadId, InstrAddr, Addr>;
+
+std::set<Decision> DecisionsOf(const RunResult& run) {
+  std::set<Decision> decisions;
+  const auto& trace = run.trace;
+  for (size_t j = 0; j < trace.size(); ++j) {
+    if (!trace[j].is_access) {
+      continue;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (!trace[i].is_access || trace[i].di.tid == trace[j].di.tid ||
+          !Conflicting(trace[i], trace[j])) {
+        continue;
+      }
+      decisions.insert({trace[i].di.tid, trace[i].di.at, trace[j].di.tid, trace[j].di.at,
+                        trace[j].addr});
+    }
+  }
+  return decisions;
+}
+
+}  // namespace
+
+InflectionResult FindInflectionPoint(const KernelImage& image,
+                                     const std::vector<ThreadSpec>& slice,
+                                     const std::vector<ThreadSpec>& setup,
+                                     const RunResult& failing_run,
+                                     const InflectionOptions& options) {
+  InflectionResult result;
+
+  // Union of ordering decisions across clean runs.
+  std::set<Decision> clean;
+  for (int i = 0; i < options.clean_runs; ++i) {
+    KernelSim kernel(&image, slice, setup);
+    RandomPolicy policy(options.first_seed + static_cast<uint64_t>(i));
+    RunResult run = RunToCompletion(kernel, policy);
+    if (run.failure.has_value()) {
+      continue;
+    }
+    ++result.clean_runs_collected;
+    for (const Decision& d : DecisionsOf(run)) {
+      clean.insert(d);
+    }
+  }
+
+  // Earliest decision of the failing run never seen in a clean run; its
+  // later side is the inflection point.
+  const auto& trace = failing_run.trace;
+  for (size_t j = 0; j < trace.size(); ++j) {
+    if (!trace[j].is_access) {
+      continue;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      if (!trace[i].is_access || trace[i].di.tid == trace[j].di.tid ||
+          !Conflicting(trace[i], trace[j])) {
+        continue;
+      }
+      Decision d{trace[i].di.tid, trace[i].di.at, trace[j].di.tid, trace[j].di.at,
+                 trace[j].addr};
+      if (clean.count(d) == 0) {
+        result.found = true;
+        result.inflection = trace[j].di;
+        result.predecessor = trace[i].di;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace aitia

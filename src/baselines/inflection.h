@@ -1,0 +1,48 @@
+// Kairux-style inflection-point diagnosis (§5.3).
+//
+// Kairux defines the root cause of a failure as a *single instruction*: the
+// first one in the failed run that deviates from every non-failed run. We
+// reimplement the idea on the shared substrate: collect clean traces under
+// random schedules, then find the earliest cross-thread ordering decision in
+// the failing trace that no clean run exhibits, and report its later
+// instruction.
+//
+// The point of the comparison: even when the inflection point is correct,
+// it is one instruction — it cannot express a multi-race causality chain
+// (the "Comprehensive" requirement, Table 1).
+
+#ifndef SRC_BASELINES_INFLECTION_H_
+#define SRC_BASELINES_INFLECTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/sim/kernel.h"
+#include "src/sim/program.h"
+#include "src/sim/thread.h"
+
+namespace aitia {
+
+struct InflectionOptions {
+  int clean_runs = 64;
+  uint64_t first_seed = 1000;
+};
+
+struct InflectionResult {
+  bool found = false;
+  // The deviating instruction (the "inflection point").
+  DynInstr inflection;
+  // The ordering decision that produced it: predecessor => inflection.
+  DynInstr predecessor;
+  int clean_runs_collected = 0;
+};
+
+InflectionResult FindInflectionPoint(const KernelImage& image,
+                                     const std::vector<ThreadSpec>& slice,
+                                     const std::vector<ThreadSpec>& setup,
+                                     const RunResult& failing_run,
+                                     const InflectionOptions& options = {});
+
+}  // namespace aitia
+
+#endif  // SRC_BASELINES_INFLECTION_H_

@@ -1,0 +1,89 @@
+#include "src/baselines/muvi.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/sim/policy.h"
+
+namespace aitia {
+
+MuviResult RunMuvi(const FuzzWorkload& workload, const std::vector<std::string>& query_vars,
+                   const MuviOptions& options) {
+  MuviResult result;
+  const KernelImage& image = *workload.image;
+
+  // Per-(run, thread) sets of accessed globals. A "thread execution" is the
+  // statistical unit, standing in for MUVI's per-function access sets.
+  std::map<Addr, int> accessing_units;                       // var -> #units
+  std::map<std::pair<Addr, Addr>, int> coaccessing_units;    // pair -> #units
+
+  for (int i = 0; i < options.runs; ++i) {
+    KernelSim kernel(workload.image, workload.threads, workload.setup);
+    RandomPolicy policy(options.first_seed + static_cast<uint64_t>(i));
+    RunResult run = RunToCompletion(kernel, policy);
+    if (run.failure.has_value()) {
+      // MUVI mines *production* traces; crashing executions are truncated
+      // and would skew the co-access statistics.
+      continue;
+    }
+
+    std::map<ThreadId, std::set<Addr>> touched;
+    for (const ExecEvent& e : run.trace) {
+      if (!e.is_access) {
+        continue;
+      }
+      if (e.addr >= kGlobalBase && e.addr < kGlobalEnd) {
+        touched[e.di.tid].insert(e.addr);
+      }
+    }
+    for (const auto& [tid, vars] : touched) {
+      (void)tid;
+      for (Addr a : vars) {
+        accessing_units[a]++;
+        for (Addr b : vars) {
+          if (a < b) {
+            coaccessing_units[{a, b}]++;
+          }
+        }
+      }
+    }
+  }
+
+  auto ratio_of = [&](Addr a, Addr b) -> double {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    auto it = coaccessing_units.find({a, b});
+    const int both = it == coaccessing_units.end() ? 0 : it->second;
+    const int na = accessing_units.count(a) != 0 ? accessing_units[a] : 0;
+    const int nb = accessing_units.count(b) != 0 ? accessing_units[b] : 0;
+    const int denom = std::max(na, nb);
+    return denom == 0 ? 0.0 : static_cast<double>(both) / denom;
+  };
+
+  for (const auto& [pair, both] : coaccessing_units) {
+    (void)both;
+    MuviPair p;
+    p.var_a = image.GlobalName(pair.first);
+    p.var_b = image.GlobalName(pair.second);
+    p.ratio = ratio_of(pair.first, pair.second);
+    p.correlated = p.ratio >= options.threshold;
+    result.pairs.push_back(p);
+  }
+
+  // Do the bug's racing variables pass?
+  result.assumption_holds = query_vars.size() >= 2;
+  for (size_t i = 0; i < query_vars.size(); ++i) {
+    for (size_t j = i + 1; j < query_vars.size(); ++j) {
+      const double r = ratio_of(image.GlobalAddr(query_vars[i]),
+                                image.GlobalAddr(query_vars[j]));
+      if (r < options.threshold) {
+        result.assumption_holds = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace aitia

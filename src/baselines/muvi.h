@@ -1,0 +1,54 @@
+// MUVI-style multi-variable access-correlation mining (§2.2, §5.3).
+//
+// MUVI assumes that semantically correlated variables are *accessed
+// together* most of the time; it mines that correlation and flags
+// non-atomic accesses to correlated pairs. The reimplementation mines
+// per-thread co-access statistics of the scenario's global variables over a
+// fuzzing workload.
+//
+// The comparison point: *loosely correlated* objects (an fd-table slot in
+// VFS and a kvm object in KVM) fail the co-access threshold because most
+// syscalls touch one without the other, so MUVI never connects them — while
+// AITIA's dynamic flip test does not care (pattern-agnostic).
+
+#ifndef SRC_BASELINES_MUVI_H_
+#define SRC_BASELINES_MUVI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/sim/program.h"
+
+namespace aitia {
+
+struct MuviOptions {
+  int runs = 200;
+  uint64_t first_seed = 9000;
+  // Minimum co-access ratio for a pair to count as correlated:
+  // |threads accessing both| / |threads accessing either-side min|.
+  double threshold = 0.65;
+};
+
+struct MuviPair {
+  std::string var_a;
+  std::string var_b;
+  double ratio = 0;
+  bool correlated = false;
+};
+
+struct MuviResult {
+  std::vector<MuviPair> pairs;  // all global pairs with any co-access
+  // True if every pair drawn from `query_vars` passed the threshold — i.e.
+  // MUVI's assumption holds for the bug's racing variables.
+  bool assumption_holds = false;
+};
+
+// Mines access correlation over random-schedule runs of `workload`, then
+// evaluates the correlation of the `query_vars` (the bug's racing globals).
+MuviResult RunMuvi(const FuzzWorkload& workload, const std::vector<std::string>& query_vars,
+                   const MuviOptions& options = {});
+
+}  // namespace aitia
+
+#endif  // SRC_BASELINES_MUVI_H_

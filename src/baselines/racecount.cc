@@ -1,0 +1,23 @@
+#include "src/baselines/racecount.h"
+
+#include <set>
+#include <utility>
+
+namespace aitia {
+
+RawRaceStats CountRawRaces(const RunResult& failing_run) {
+  RawRaceStats stats;
+  stats.memory_accessing_instructions = failing_run.AccessCount();
+
+  RaceAnalysis analysis = ExtractRaces(failing_run);
+  stats.conflicting_pairs = analysis.conflicting_pairs_total;
+
+  std::set<std::pair<InstrAddr, InstrAddr>> static_pairs;
+  for (const RacePair& race : analysis.races) {
+    static_pairs.insert({race.first.di.at, race.second.di.at});
+  }
+  stats.data_races = static_cast<int64_t>(static_pairs.size());
+  return stats;
+}
+
+}  // namespace aitia

@@ -1,0 +1,91 @@
+// ext-irq — hardware-IRQ context diagnosis (the paper's §4.6 future work).
+//
+// The paper's stated limitation: "AITIA does not implement cases in which
+// concurrency bugs occur in hardware IRQ contexts ... we believe AITIA is
+// able to diagnose such concurrent bugs if the AITIA hypervisor injects an
+// IRQ through the VT-x mechanism". This scenario exercises exactly that
+// extension: LIFS injects a serial-console RX interrupt at scheduling
+// points of a single syscall.
+//
+//   A (ioctl TCFLSH):                  H (serial RX hardirq):
+//   A1 b = tty->rx_buf;                H1 b = tty->rx_buf;
+//      if (!b) return;                    if (!b) return;
+//   A2 kfree(b);                       H2 read b[0];      <- UAF read
+//   A3 tty->rx_buf = NULL;
+//
+// The failure needs the IRQ to land between A2 and A3. Expected chain:
+// (H1 => A3) --> (A2 => H2) --> UAF read.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeExtIrqSerialUaf() {
+  BugScenario s;
+  s.id = "ext-irq";
+  s.subsystem = "Serial TTY";
+  s.bug_kind = "Use-after-free access (hardirq)";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr rx_buf = image.AddGlobal("tty_rx_buf", 0);
+
+  {
+    ProgramBuilder b("serial_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: rx_buf = kmalloc()")
+        .Lea(R2, rx_buf)
+        .Store(R2, R1)
+        .Note("S2: tty->rx_buf = rx_buf")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  ProgramId handler;
+  {
+    ProgramBuilder b("serial_rx_irq");
+    b.Lea(R1, rx_buf)
+        .Load(R2, R1)
+        .Note("H1: b = tty->rx_buf")
+        .Beqz(R2, "out")
+        .Load(R3, R2, 0)
+        .Note("H2: read b[0]  <- UAF when the IRQ lands mid-flush")
+        .Label("out")
+        .Exit();
+    handler = image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("tty_flush");
+    b.Lea(R1, rx_buf)
+        .Load(R2, R1)
+        .Note("A1: b = tty->rx_buf")
+        .Beqz(R2, "out")
+        .Free(R2)
+        .Note("A2: kfree(b)")
+        .StoreImm(R1, 0)
+        .Note("A3: tty->rx_buf = NULL")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"open(/dev/ttyS0)", image.ProgramByName("serial_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"tty_fd"};
+  s.slice = {{"ioctl(TCFLSH)", image.ProgramByName("tty_flush"), 0, ThreadKind::kSyscall}};
+  s.slice_resources = {"tty_fd"};
+  s.irq_lines = {{handler, 0}};
+
+  s.truth.failure_type = FailureType::kUseAfterFreeRead;
+  s.truth.multi_variable = false;
+  s.truth.paper_chain_races = 0;  // not in the paper's tables (future work)
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"tty_rx_buf"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,88 @@
+// Figure 1: the abstract two-variable concurrency failure.
+//
+//   Thread A                     Thread B
+//   A1  ptr_valid = 1;           B1  if (ptr_valid == 0) return;
+//   A2  local = *ptr;            B2  ptr = NULL;
+//
+// Initial: ptr_valid = 0, ptr -> pointee. The failure (NULL deref at A2)
+// requires A1 => B1 (so B survives its check) and B2 => A2. Expected chain:
+// (A1 => B1) --> (B2 => A2) --> null-ptr-deref.
+//
+// Both threads also bump a shared statistics counter — an intentional benign
+// race Causality Analysis must exclude (§2.3).
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeFig1() {
+  BugScenario s;
+  s.id = "fig-1";
+  s.subsystem = "abstract";
+  s.bug_kind = "NULL pointer dereference";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr pointee = image.AddGlobal("pointee", 42);
+  const Addr ptr = image.AddGlobal("ptr", static_cast<Word>(pointee));
+  const Addr ptr_valid = image.AddGlobal("ptr_valid", 0);
+  const Addr stat = image.AddGlobal("stat_counter", 0);
+
+  {
+    ProgramBuilder b("thread_a");
+    b.Lea(R4, stat)
+        .Load(R5, R4)
+        .Note("A0: stats->ops++ (benign)")
+        .AddImm(R5, R5, 1)
+        .Store(R4, R5)
+        .Note("A0': stats->ops++ (benign)")
+        .Lea(R1, ptr_valid)
+        .StoreImm(R1, 1)
+        .Note("A1: ptr_valid = 1")
+        .Lea(R2, ptr)
+        .Load(R3, R2)
+        .Note("A2: local = *ptr (read ptr)")
+        .Load(R3, R3)
+        .Note("A2': local = *ptr (deref)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("thread_b");
+    b.Lea(R4, stat)
+        .Load(R5, R4)
+        .Note("B0: stats->ops++ (benign)")
+        .AddImm(R5, R5, 1)
+        .Store(R4, R5)
+        .Note("B0': stats->ops++ (benign)")
+        .Lea(R1, ptr_valid)
+        .Load(R2, R1)
+        .Note("B1: if (ptr_valid == 0) return")
+        .Beqz(R2, "out")
+        .Lea(R3, ptr)
+        .StoreImm(R3, 0)
+        .Note("B2: ptr = NULL")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"syscall_a", image.ProgramByName("thread_a"), 0, ThreadKind::kSyscall},
+      {"syscall_b", image.ProgramByName("thread_b"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kNullDeref;
+  s.truth.multi_variable = true;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"ptr", "ptr_valid"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

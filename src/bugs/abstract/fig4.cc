@@ -1,0 +1,174 @@
+// Figure 4 — the complex kernel concurrency-bug shapes the paper calls out.
+//
+// (a) two syscalls + a race-steered kworker is covered by fig-5 / syz-04.
+// (b) fig-4b: a *single* syscall whose own deferred work races with it —
+//     a kworker reads state the syscall publishes late, and an RCU callback
+//     frees the object under the kworker:
+//
+//       A: o = dev->obj;                  W (kworker): s = o->state;
+//          queue_work(W, o);                 if (!s) return;
+//          o->state = 1;                     o->data = 5;   <- UAF write
+//          call_rcu(R, o);                R (rcu): kfree(o);
+//
+//     Expected chain: (A3 => W1) --> (W1 => R1) --> (R1 => W2) --> UAF write
+//     (the W1/R1 free-order race is itself symptom-preventing: reversing it
+//     turns the write into a read-side fault, a different symptom).
+//
+// (c) fig-4c: three contexts chained over three memory objects, each link
+//     race-steered by the previous one:
+//
+//       A: m1 = 1;                        B: if (m1) { queue_work(K); m2 = 1; }
+//          p = m3; *p;                    K: if (m2) m3 = NULL;
+//
+//     Expected chain: (A1 => B1) --> (B2 => K1) --> (K2 => A2) --> NULL deref.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeFig4b() {
+  BugScenario s;
+  s.id = "fig-4b";
+  s.subsystem = "abstract";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr dev_obj = image.AddGlobal("dev_obj", 0);
+
+  {
+    ProgramBuilder b("fig4b_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: obj = kmalloc()")
+        .Lea(R2, dev_obj)
+        .Store(R2, R1)
+        .Note("S2: dev->obj = obj")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  ProgramId rcu_cb;
+  {
+    ProgramBuilder b("fig4b_rcu_free");
+    b.Free(R0)
+        .Note("R1: kfree(obj)")
+        .Exit();
+    rcu_cb = image.AddProgram(b.Build());
+  }
+  ProgramId worker;
+  {
+    ProgramBuilder b("fig4b_worker");
+    b.Load(R1, R0, 0)
+        .Note("W1: s = obj->state")
+        .Beqz(R1, "out")
+        .StoreImm(R0, 5, 1)
+        .Note("W2: obj->data = 5  <- UAF write if R1 => W2")
+        .Label("out")
+        .Exit();
+    worker = image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("fig4b_syscall");
+    b.Lea(R1, dev_obj)
+        .Load(R2, R1)
+        .Note("A1: o = dev->obj")
+        .QueueWork(worker, R2)
+        .Note("A2: queue_work(W, o)")
+        .StoreImm(R2, 1, 0)
+        .Note("A3: o->state = 1")
+        .CallRcu(rcu_cb, R2)
+        .Note("A4: call_rcu(R, o)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"open(dev)", image.ProgramByName("fig4b_setup"), 0, ThreadKind::kSyscall}};
+  s.setup_resources = {"dev_fd"};
+  s.slice = {{"ioctl(dev)", image.ProgramByName("fig4b_syscall"), 0, ThreadKind::kSyscall}};
+  s.slice_resources = {"dev_fd"};
+
+  s.truth.failure_type = FailureType::kUseAfterFreeWrite;
+  s.truth.multi_variable = true;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 3;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"dev_obj"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+BugScenario MakeFig4c() {
+  BugScenario s;
+  s.id = "fig-4c";
+  s.subsystem = "abstract";
+  s.bug_kind = "NULL pointer dereference";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr pointee = image.AddGlobal("fig4c_pointee", 9);
+  const Addr m1 = image.AddGlobal("fig4c_m1", 0);
+  const Addr m2 = image.AddGlobal("fig4c_m2", 0);
+  const Addr m3 = image.AddGlobal("fig4c_m3", static_cast<Word>(pointee));
+
+  ProgramId worker;
+  {
+    ProgramBuilder b("fig4c_worker");
+    b.Lea(R1, m2)
+        .Load(R2, R1)
+        .Note("K1: if (m2)")
+        .Beqz(R2, "out")
+        .Lea(R3, m3)
+        .StoreImm(R3, 0)
+        .Note("K2: m3 = NULL")
+        .Label("out")
+        .Exit();
+    worker = image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("fig4c_thread_a");
+    b.Lea(R1, m1)
+        .StoreImm(R1, 1)
+        .Note("A1: m1 = 1")
+        .Lea(R2, m3)
+        .Load(R3, R2)
+        .Note("A2: p = m3")
+        .Load(R4, R3)
+        .Note("A3: *p  <- NULL deref when K2 => A2")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("fig4c_thread_b");
+    b.Lea(R1, m1)
+        .Load(R2, R1)
+        .Note("B1: if (m1)")
+        .Beqz(R2, "out")
+        .MovImm(R3, 0)
+        .QueueWork(worker, R3)
+        .Note("B1': queue_work(K)")
+        .Lea(R4, m2)
+        .StoreImm(R4, 1)
+        .Note("B2: m2 = 1")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"syscall_a", image.ProgramByName("fig4c_thread_a"), 0, ThreadKind::kSyscall},
+      {"syscall_b", image.ProgramByName("fig4c_thread_b"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kNullDeref;
+  s.truth.multi_variable = true;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 3;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"fig4c_m1", "fig4c_m2", "fig4c_m3"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,95 @@
+// Figure 5: the LIFS search-tree example.
+//
+//   Thread A: A1(m1) A2(m2) A3(m3-deref)   Thread B: B1(m1) B2(m2) [B3]
+//   Thread K: K1(m3) — a kworker queued by B3, which only runs if A1 => B1.
+//
+// If K1 executes before A3's dereference, A3 faults (NULL deref). The
+// failure therefore needs A1 => B1 (race-steered spawn of K) and K1 => A3.
+// Expected chain: (A1 => B1) --> (K1 => A3) --> null-ptr-deref.
+//
+// m2 hosts an extra conflicting pair (A2/B2) that never matters — benign.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeFig5() {
+  BugScenario s;
+  s.id = "fig-5";
+  s.subsystem = "abstract";
+  s.bug_kind = "NULL pointer dereference";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr pointee = image.AddGlobal("m3_pointee", 5);
+  const Addr m1 = image.AddGlobal("m1_flag", 0);
+  const Addr m2 = image.AddGlobal("m2_counter", 0);
+  const Addr m3 = image.AddGlobal("m3_ptr", static_cast<Word>(pointee));
+
+  ProgramId worker;
+  {
+    ProgramBuilder b("kworker_fn");
+    b.Lea(R1, m3)
+        .StoreImm(R1, 0)
+        .Note("K1: m3 = NULL")
+        .Exit();
+    worker = image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("thread_a");
+    b.Lea(R1, m1)
+        .StoreImm(R1, 1)
+        .Note("A1: m1 = 1")
+        .Lea(R2, m2)
+        .Load(R3, R2)
+        .Note("A2: m2++ (read)")
+        .AddImm(R3, R3, 1)
+        .Store(R2, R3)
+        .Note("A2': m2++ (write)")
+        .Lea(R4, m3)
+        .Load(R5, R4)
+        .Note("A3: p = m3")
+        .Load(R6, R5)
+        .Note("A3': *p (fails if K1 => A3)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("thread_b");
+    b.Lea(R1, m1)
+        .Load(R2, R1)
+        .Note("B1: if (m1)")
+        .Beqz(R2, "skip_work")
+        .MovImm(R5, 0)
+        .QueueWork(worker, R5)
+        .Note("B3: queue_work(k)")
+        .Label("skip_work")
+        .Lea(R3, m2)
+        .Load(R4, R3)
+        .Note("B2: m2++ (read)")
+        .AddImm(R4, R4, 1)
+        .Store(R3, R4)
+        .Note("B2': m2++ (write)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"syscall_a", image.ProgramByName("thread_a"), 0, ThreadKind::kSyscall},
+      {"syscall_b", image.ProgramByName("thread_b"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kNullDeref;
+  s.truth.multi_variable = true;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"m1_flag", "m3_ptr"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,75 @@
+// Figure 7: nested and surrounding data races -> ambiguity.
+//
+//   Thread A: A1 m1 = 1;  A2 m2 = 1;
+//   Thread B: B1 r2 = m2; B2 r1 = m1; if (r1 && r2) BUG();
+//
+// In the failing order A1 => A2 => B1 => B2 both loads observe 1. The race
+// A1 => B2 (m1) *surrounds* the nested race A2 => B1 (m2): flipping the
+// surrounding order necessarily reverses the nested one, and since flipping
+// either avoids the failure, Causality Analysis must report the surrounding
+// race as ambiguous (§3.4).
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeFig7() {
+  BugScenario s;
+  s.id = "fig-7";
+  s.subsystem = "abstract";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr m1 = image.AddGlobal("m1", 0);
+  const Addr m2 = image.AddGlobal("m2", 0);
+
+  {
+    ProgramBuilder b("thread_a");
+    b.Lea(R1, m1)
+        .StoreImm(R1, 1)
+        .Note("A1: m1 = 1")
+        .Lea(R2, m2)
+        .StoreImm(R2, 1)
+        .Note("A2: m2 = 1")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("thread_b");
+    b.Lea(R1, m2)
+        .Load(R2, R1)
+        .Note("B1: r2 = m2")
+        .Lea(R3, m1)
+        .Load(R4, R3)
+        .Note("B2: r1 = m1")
+        .Beqz(R2, "ok")
+        .Beqz(R4, "ok")
+        .MovImm(R5, 0)
+        .BugOn(R5)
+        .Note("B3: BUG() when r1 && r2")
+        .Label("ok")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"syscall_a", image.ProgramByName("thread_a"), 0, ThreadKind::kSyscall},
+      {"syscall_b", image.ProgramByName("thread_b"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kAssertViolation;
+  s.truth.multi_variable = true;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 0;  // A-then-B sequential order already fails
+  s.truth.racing_globals = {"m1", "m2"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  s.truth.expect_ambiguity = true;
+  return s;
+}
+
+}  // namespace aitia

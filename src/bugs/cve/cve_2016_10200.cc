@@ -1,0 +1,80 @@
+// CVE-2016-10200 — L2TP: connect races with bind on the tunnel socket.
+//
+// l2tp_ip_bind publishes the bound socket and sets the bound flag without
+// holding the socket lock against a concurrent connect; the lookup path can
+// observe the two stores in an impossible combination. Modeled so the two
+// races form a surrounding/nested pair — this is the one evaluation bug for
+// which AITIA reports an *ambiguous* case (§5.1):
+//
+//   A (bind):                          B (connect/lookup):
+//   A1 tunnel->sk = sk;                B1 bound = tunnel->bound;
+//   A2 tunnel->bound = 1;              B2 s = tunnel->sk;
+//                                      if (bound && s) BUG();  // bad combo
+//
+// A1 => B2 surrounds A2 => B1; flipping either avoids the failure, so the
+// surrounding race cannot be attributed (Figure 7).
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2016_10200() {
+  BugScenario s;
+  s.id = "CVE-2016-10200";
+  s.subsystem = "L2TP";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr tunnel_sk = image.AddGlobal("l2tp_tunnel_sk", 0);
+  const Addr tunnel_bound = image.AddGlobal("l2tp_tunnel_bound", 0);
+
+  {
+    ProgramBuilder b("l2tp_bind");
+    b.Lea(R1, tunnel_sk)
+        .StoreImm(R1, 888)
+        .Note("A1: tunnel->sk = sk")
+        .Lea(R2, tunnel_bound)
+        .StoreImm(R2, 1)
+        .Note("A2: tunnel->bound = 1")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("l2tp_connect");
+    b.Lea(R1, tunnel_bound)
+        .Load(R2, R1)
+        .Note("B1: bound = tunnel->bound")
+        .Lea(R3, tunnel_sk)
+        .Load(R4, R3)
+        .Note("B2: s = tunnel->sk")
+        .Beqz(R2, "ok")
+        .Beqz(R4, "ok")
+        .MovImm(R5, 0)
+        .BugOn(R5)
+        .Note("B3: BUG: bound tunnel with live sk during connect")
+        .Label("ok")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"bind(l2tp)", image.ProgramByName("l2tp_bind"), 0, ThreadKind::kSyscall},
+      {"connect(l2tp)", image.ProgramByName("l2tp_connect"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"l2tp_fd", "l2tp_fd"};
+
+  s.truth.failure_type = FailureType::kAssertViolation;
+  s.truth.multi_variable = true;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 0;
+  s.truth.racing_globals = {"l2tp_tunnel_sk", "l2tp_tunnel_bound"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  s.truth.expect_ambiguity = true;  // the one ambiguous case in §5.1
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,87 @@
+// CVE-2016-8655 — packet socket: PACKET_VERSION vs PACKET_RX_RING.
+//
+// packet_set_ring() samples po->tp_version, allocates the ring, and keeps
+// using the sampled version, while a concurrent setsockopt(PACKET_VERSION)
+// changes it (it only checks that no ring exists *yet*). The two variables
+// are correlated: the ring layout must match tp_version.
+//
+//   A (PACKET_VERSION):                B (PACKET_RX_RING):
+//   A1 if (po->rx_ring) return;        B1 v = po->tp_version;
+//   A2 po->tp_version = V3;            B2 ring = alloc();
+//                                      B3 po->rx_ring = ring;
+//                                      B4 v2 = po->tp_version;
+//                                      B5 BUG_ON(v2 != v);   // layout mismatch
+//
+// Expected chain: (A1 => B3) ∧ (B1 => A2) --> (A2 => B4) --> BUG.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2016_8655() {
+  BugScenario s;
+  s.id = "CVE-2016-8655";
+  s.subsystem = "Packet socket";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr tp_version = image.AddGlobal("po_tp_version", 2);
+  const Addr rx_ring = image.AddGlobal("po_rx_ring", 0);
+
+  {
+    ProgramBuilder b("packet_set_version");
+    b.Lea(R1, rx_ring)
+        .Load(R2, R1)
+        .Note("A1: if (po->rx_ring) return -EBUSY")
+        .Bnez(R2, "busy")
+        .Lea(R3, tp_version)
+        .StoreImm(R3, 3)
+        .Note("A2: po->tp_version = TPACKET_V3")
+        .Label("busy")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("packet_set_ring");
+    b.Lea(R1, tp_version)
+        .Load(R2, R1)
+        .Note("B1: v = po->tp_version")
+        .Alloc(R3, 2)
+        .Note("B2: ring = alloc_pg_vec()")
+        .Lea(R4, rx_ring)
+        .Store(R4, R3)
+        .Note("B3: po->rx_ring = ring")
+        .Load(R5, R1)
+        .Note("B4: v2 = po->tp_version")
+        .Bne(R5, R2, "mismatch")
+        .Exit()
+        .Label("mismatch")
+        .MovImm(R6, 0)
+        .BugOn(R6)
+        .Note("B5: BUG: ring layout does not match tp_version")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"setsockopt(PACKET_VERSION)", image.ProgramByName("packet_set_version"), 0,
+       ThreadKind::kSyscall},
+      {"setsockopt(PACKET_RX_RING)", image.ProgramByName("packet_set_ring"), 0,
+       ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"packet_fd", "packet_fd"};
+
+  s.truth.failure_type = FailureType::kAssertViolation;
+  s.truth.multi_variable = true;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 3;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"po_tp_version", "po_rx_ring"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

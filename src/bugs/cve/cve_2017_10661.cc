@@ -1,0 +1,91 @@
+// CVE-2017-10661 — timerfd: concurrent timerfd_settime corrupts the timer
+// list (assertion in the hrtimer machinery).
+//
+// Two settime calls race on cancel-then-rearm of the same timer:
+//
+//   each thread:  d = list_del(&timer);        // cancel if armed
+//                 c = list_contains(&timer);   // must be gone now
+//                 if (c) BUG();                // double-arm detected
+//                 list_add(&timer);            // rearm
+//
+// The BUG fires when one thread's rearm (list_add) lands between the other
+// thread's cancel and its sanity check.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+void BuildSettime(KernelImage& image, const char* name, const char* tag, Addr timer_list,
+                  Addr expiry, Word new_expiry) {
+  ProgramBuilder b(name);
+  std::string t(tag);
+  b.Lea(R1, timer_list)
+      .MovImm(R2, 555)  // &ctx->tmr
+      .ListDel(R3, R1, R2)
+      .Note(t + "1: hrtimer_cancel: list_del(&ctx->tmr)")
+      .ListContains(R4, R1, R2)
+      .Note(t + "2: sanity: timer must be off the list")
+      .Beqz(R4, "arm")
+      .MovImm(R5, 0)
+      .BugOn(R5)
+      .Note(t + "3: BUG: timer already armed")
+      .Label("arm")
+      .Lea(R6, expiry)
+      .MovImm(R7, new_expiry)
+      .Store(R6, R7)
+      .Note(t + "4: ctx->expiry = new (benign)")
+      .ListAdd(R1, R2)
+      .Note(t + "5: hrtimer_start: list_add(&ctx->tmr)")
+      .Exit();
+  image.AddProgram(b.Build());
+}
+
+}  // namespace
+
+BugScenario MakeCve2017_10661() {
+  BugScenario s;
+  s.id = "CVE-2017-10661";
+  s.subsystem = "Timer fd";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr timer_list = image.AddGlobal("hrtimer_list", 0);
+  const Addr expiry = image.AddGlobal("timerfd_expiry", 0);
+
+  // setup: the timer starts armed (a previous settime).
+  {
+    ProgramBuilder b("timerfd_setup");
+    b.Lea(R1, timer_list)
+        .MovImm(R2, 555)
+        .ListAdd(R1, R2)
+        .Note("S1: initial arm")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  BuildSettime(image, "timerfd_settime_a", "A", timer_list, expiry, 10);
+  BuildSettime(image, "timerfd_settime_b", "B", timer_list, expiry, 20);
+
+  s.setup = {{"timerfd_settime(init)", image.ProgramByName("timerfd_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"timer_fd"};
+  s.slice = {
+      {"timerfd_settime#1", image.ProgramByName("timerfd_settime_a"), 0, ThreadKind::kSyscall},
+      {"timerfd_settime#2", image.ProgramByName("timerfd_settime_b"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"timer_fd", "timer_fd"};
+
+  s.truth.failure_type = FailureType::kAssertViolation;
+  s.truth.multi_variable = false;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 1;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"hrtimer_list"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;  // single-list atomicity violation
+  return s;
+}
+
+}  // namespace aitia

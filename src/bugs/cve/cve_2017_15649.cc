@@ -1,0 +1,139 @@
+// CVE-2017-15649 — packet fanout multi-variable race (Figure 2).
+//
+//   Thread A: setsockopt(PACKET_FANOUT_ADD) -> fanout_add()
+//   Thread B: bind()                        -> packet_do_bind()
+//
+//   A2  if (!po->running) return -EINVAL;      B2   if (po->fanout) return;
+//   A5  match = kmalloc();                     B11  po->running = 0;
+//   A6  po->fanout = match;                    B12  if (po->fanout)
+//   A8  fanout_link();                         B13      fanout_unlink();
+//   A12   list_add(sk, &global_list);          B17  BUG_ON(!list_contains(sk));
+//                                              B7   fanout_link();
+//
+// po->running and po->fanout are semantically correlated; the failure needs
+// (A2 => B11) ∧ (B2 => A6), which steers B into fanout_unlink (A6 => B12)
+// before thread A linked sk (B17 => A12): BUG_ON. Two preemptions reproduce
+// it, matching the paper's "Inter. 2" for this CVE. Expected chain ==
+// Figure 6(b):
+//   (A2=>B11) ∧ (B2=>A6) --> (A6=>B12) --> (B17=>A12) --> BUG_ON
+//
+// Both handlers bump a socket statistics counter — benign races Causality
+// Analysis must rule out.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2017_15649() {
+  BugScenario s;
+  s.id = "CVE-2017-15649";
+  s.subsystem = "Packet socket";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr po_running = image.AddGlobal("po_running", 1);
+  const Addr po_fanout = image.AddGlobal("po_fanout", 0);
+  const Addr global_list = image.AddGlobal("fanout_global_list", 0);
+  const Addr stats = image.AddGlobal("po_stats", 0);
+  constexpr Word kSk = 777;  // the shared struct sock*
+
+  {
+    ProgramBuilder b("fanout_add");
+    b.Lea(R8, stats)
+        .Load(R9, R8)
+        .Note("A-st: po->stats++ (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("A-st': po->stats++ (benign)")
+        .Lea(R1, po_running)
+        .Load(R2, R1)
+        .Note("A2: if (!po->running)")
+        .Beqz(R2, "einval")
+        .Alloc(R3, 1)
+        .Note("A5: match = kmalloc()")
+        .Lea(R4, po_fanout)
+        .Store(R4, R3)
+        .Note("A6: po->fanout = match")
+        .Call("fanout_link")
+        .Note("A8: fanout_link()")
+        .Exit()
+        .Label("einval")
+        .Exit()
+        .Label("fanout_link")
+        .Lea(R5, global_list)
+        .MovImm(R6, kSk)
+        .ListAdd(R5, R6)
+        .Note("A12: list_add(sk, &global_list)")
+        .Ret();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("packet_do_bind");
+    b.Lea(R8, stats)
+        .Load(R9, R8)
+        .Note("B-st: po->stats++ (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("B-st': po->stats++ (benign)")
+        .Lea(R1, po_fanout)
+        .Load(R2, R1)
+        .Note("B2: if (po->fanout)")
+        .Bnez(R2, "einval")
+        .Call("unregister_hook")
+        .Note("B5: unregister_hook()")
+        .Call("fanout_link")
+        .Note("B7: fanout_link()")
+        .Exit()
+        .Label("einval")
+        .Exit()
+        .Label("unregister_hook")
+        .Lea(R3, po_running)
+        .StoreImm(R3, 0)
+        .Note("B11: po->running = 0")
+        .Lea(R4, po_fanout)
+        .Load(R5, R4)
+        .Note("B12: if (po->fanout)")
+        .Beqz(R5, "uh_ret")
+        .Call("fanout_unlink")
+        .Note("B13: fanout_unlink(sk, po)")
+        .Label("uh_ret")
+        .Ret()
+        .Label("fanout_unlink")
+        .Lea(R6, global_list)
+        .MovImm(R7, kSk)
+        .ListContains(R10, R6, R7)
+        .Note("B17: BUG_ON(!list_contains(sk, &global_list))")
+        .BugOn(R10)
+        .Note("B17': BUG_ON fires")
+        .Ret()
+        .Label("fanout_link")
+        .Lea(R6, global_list)
+        .MovImm(R7, kSk)
+        .ListAdd(R6, R7)
+        .Note("B7': list_add(sk, &global_list)")
+        .Ret();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"setsockopt(PACKET_FANOUT_ADD)", image.ProgramByName("fanout_add"), 0,
+       ThreadKind::kSyscall},
+      {"bind()", image.ProgramByName("packet_do_bind"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"packet_sock_fd", "packet_sock_fd"};
+
+  s.truth.failure_type = FailureType::kAssertViolation;
+  s.truth.multi_variable = true;
+  s.truth.paper_chain_races = 4;
+  s.truth.paper_interleavings = 2;
+  s.truth.expected_chain_races = 4;
+  s.truth.expected_interleavings = 2;
+  s.truth.racing_globals = {"po_running", "po_fanout", "fanout_global_list"};
+  s.truth.muvi_assumption_holds = true;  // running/fanout accessed together
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

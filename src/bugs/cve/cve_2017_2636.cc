@@ -1,0 +1,90 @@
+// CVE-2017-2636 — n_hdlc line discipline double free.
+//
+// Two concurrent flush paths both pick up n_hdlc->tbuf and free it; the
+// classic single-variable atomicity violation behind the published
+// exploit:
+//
+//   each thread:  b = n_hdlc->tbuf;
+//                 if (!b) return;
+//                 kfree(b);            <- second thread double-frees
+//                 n_hdlc->tbuf = NULL;
+//
+// Expected chain: one atomicity-violation order (A reads, B frees between
+// A's read and A's free) --> double-free.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+void BuildFlush(KernelImage& image, const char* name, const char* tag, Addr tbuf,
+                Addr stats) {
+  std::string t(tag);
+  ProgramBuilder b(name);
+  b.Lea(R8, stats)
+      .Load(R9, R8)
+      .Note(t + "-st: tty stats (benign)")
+      .AddImm(R9, R9, 1)
+      .Store(R8, R9)
+      .Note(t + "-st': tty stats (benign)")
+      .Lea(R1, tbuf)
+      .Load(R2, R1)
+      .Note(t + "1: b = n_hdlc->tbuf")
+      .Beqz(R2, "out")
+      .Free(R2)
+      .Note(t + "2: kfree(b)")
+      .StoreImm(R1, 0)
+      .Note(t + "3: n_hdlc->tbuf = NULL")
+      .Label("out")
+      .Exit();
+  image.AddProgram(b.Build());
+}
+
+}  // namespace
+
+BugScenario MakeCve2017_2636() {
+  BugScenario s;
+  s.id = "CVE-2017-2636";
+  s.subsystem = "TTY";
+  s.bug_kind = "Double free";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr tbuf = image.AddGlobal("n_hdlc_tbuf", 0);
+  const Addr stats = image.AddGlobal("tty_flush_stats", 0);
+
+  {
+    ProgramBuilder b("n_hdlc_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: tbuf = kmalloc()")
+        .Lea(R2, tbuf)
+        .Store(R2, R1)
+        .Note("S2: n_hdlc->tbuf = tbuf")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  BuildFlush(image, "n_hdlc_flush_a", "A", tbuf, stats);
+  BuildFlush(image, "n_hdlc_flush_b", "B", tbuf, stats);
+
+  s.setup = {{"ioctl(TIOCSETD, N_HDLC)", image.ProgramByName("n_hdlc_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"tty_fd"};
+  s.slice = {
+      {"write(tty)", image.ProgramByName("n_hdlc_flush_a"), 0, ThreadKind::kSyscall},
+      {"ioctl(TCFLSH)", image.ProgramByName("n_hdlc_flush_b"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"tty_fd", "tty_fd"};
+
+  s.truth.failure_type = FailureType::kDoubleFree;
+  s.truth.multi_variable = false;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"n_hdlc_tbuf"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,98 @@
+// CVE-2017-2671 — ping socket unhash vs connect (NULL function pointer).
+//
+// ping_unhash() clears sk->sk_prot state while a concurrent connect() still
+// expects it; the connect path then calls through a NULL pointer. A clean
+// single-variable order violation — the kind of bug pattern-based
+// localization *can* express (§5.3):
+//
+//   A (disconnect -> ping_unhash):     B (connect):
+//   A1 sk->prot_hook = NULL;           B1 if (!sk->prot_hook) return;
+//                                      B2 h = sk->prot_hook;  // re-read
+//                                      B3 call h->func;    <- NULL deref
+//
+// Expected chain: (B1 => A1) --> (A1 => B2) --> null-ptr-deref.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2017_2671() {
+  BugScenario s;
+  s.id = "CVE-2017-2671";
+  s.subsystem = "IPV4";
+  s.bug_kind = "NULL pointer dereference";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr prot_hook = image.AddGlobal("sk_prot_hook", 0);
+  const Addr snmp_stats = image.AddGlobal("snmp_out_requests", 0);
+
+  {
+    ProgramBuilder b("ping_setup");
+    b.Alloc(R1, 1)
+        .Note("S1: hook = kmalloc()")
+        .StoreImm(R1, 4242, 0)
+        .Note("S2: hook->func = ping_v4_sendmsg")
+        .Lea(R2, prot_hook)
+        .Store(R2, R1)
+        .Note("S3: sk->prot_hook = hook")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("ping_unhash");
+    b.Lea(R1, prot_hook)
+        .StoreImm(R1, 0)
+        .Note("A1: sk->prot_hook = NULL")
+        .Lea(R8, snmp_stats)
+        .Load(R9, R8)
+        .Note("A-st: SNMP counter (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("A-st': SNMP counter (benign)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("ping_connect");
+    b.Lea(R1, prot_hook)
+        .Load(R2, R1)
+        .Note("B1: if (!sk->prot_hook) return")
+        .Beqz(R2, "out")
+        .Load(R3, R1)
+        .Note("B2: h = sk->prot_hook (re-read)")
+        .Load(R4, R3, 0)
+        .Note("B3: call h->func  <- NULL deref when A1 => B2")
+        .Lea(R8, snmp_stats)
+        .Load(R9, R8)
+        .Note("B-st: SNMP counter (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("B-st': SNMP counter (benign)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"socket(SOCK_DGRAM, ICMP)", image.ProgramByName("ping_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"ping_fd"};
+  s.slice = {
+      {"connect(AF_UNSPEC)", image.ProgramByName("ping_unhash"), 0, ThreadKind::kSyscall},
+      {"connect(addr)", image.ProgramByName("ping_connect"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"ping_fd", "ping_fd"};
+
+  s.truth.failure_type = FailureType::kNullDeref;
+  s.truth.multi_variable = false;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"sk_prot_hook"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,106 @@
+// CVE-2017-7533 — inotify event handling races with rename (slab OOB).
+//
+// rename() replaces a dentry name with a longer one and updates the length
+// field; fsnotify reads the buffer pointer and the length without holding
+// the rename lock. Reading the *old* (short) buffer with the *new* (long)
+// length walks off the end of the allocation:
+//
+//   A (rename):                        B (inotify handler):
+//   A1 newbuf = kmalloc(4);            B1 p = dentry->name;
+//   A2 dentry->name = newbuf;          B2 l = dentry->name_len;
+//   A3 dentry->name_len = 8;           B3 read p[l-1];     <- OOB
+//
+// Expected chain: (B1 => A2) --> (A3 => B2) --> slab-out-of-bounds.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2017_7533() {
+  BugScenario s;
+  s.id = "CVE-2017-7533";
+  s.subsystem = "Inotify";
+  s.bug_kind = "Slab-out-of-bound access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr name_ptr = image.AddGlobal("dentry_name", 0);
+  const Addr name_len = image.AddGlobal("dentry_name_len", 0);
+  const Addr ihold = image.AddGlobal("inode_hold_count", 0);
+
+  {
+    ProgramBuilder b("dentry_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: name = kmalloc(2)")
+        .Lea(R2, name_ptr)
+        .Store(R2, R1)
+        .Note("S2: dentry->name = name")
+        .Lea(R3, name_len)
+        .StoreImm(R3, 2)
+        .Note("S3: dentry->name_len = 2")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("rename");
+    b.Lea(R8, ihold)
+        .Load(R9, R8)
+        .Note("A-st: ihold++ (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("A-st': ihold++ (benign)")
+        .Alloc(R1, 4)
+        .Note("A1: newbuf = kmalloc(4)")
+        .Lea(R2, name_ptr)
+        .Store(R2, R1)
+        .Note("A2: dentry->name = newbuf")
+        .Lea(R3, name_len)
+        .StoreImm(R3, 4)
+        .Note("A3: dentry->name_len = 4")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("fsnotify_handle");
+    b.Lea(R1, name_ptr)
+        .Load(R2, R1)
+        .Note("B1: p = dentry->name")
+        .Lea(R3, name_len)
+        .Load(R4, R3)
+        .Note("B2: l = dentry->name_len")
+        .AddImm(R4, R4, -1)
+        .Add(R5, R2, R4)
+        .Load(R6, R5)
+        .Note("B3: copy p[l-1]  <- OOB when old buf, new len")
+        .Lea(R8, ihold)
+        .Load(R9, R8)
+        .Note("B-st: ihold++ (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("B-st': ihold++ (benign)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"open(dir)", image.ProgramByName("dentry_setup"), 0, ThreadKind::kSyscall}};
+  s.setup_resources = {"watch_fd"};
+  s.slice = {
+      {"rename()", image.ProgramByName("rename"), 0, ThreadKind::kSyscall},
+      {"inotify_handle_event()", image.ProgramByName("fsnotify_handle"), 0,
+       ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"watch_fd", "watch_fd"};
+
+  s.truth.failure_type = FailureType::kOutOfBounds;
+  s.truth.multi_variable = true;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"dentry_name", "dentry_name_len"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,108 @@
+// CVE-2018-12232 — SockFS: setattr races with close (NULL dereference).
+//
+// fchownat() on a socket fd dereferences inode->socket while close() tears
+// the socket down. The two fields are semantically correlated: sock_alive
+// may be 1 only while inode_sock points at a live socket.
+//
+//   A (fchownat):                      B (close):
+//   A1 if (!inode->sock_alive) ret;    B1 inode->sock = NULL;
+//   A2 s = inode->sock;                B2 inode->sock_alive = 0;
+//   A3 s->owner = uid;       <- NULL
+//
+// Expected chain: (A1 => B2) --> (B1 => A2) --> null-ptr-deref.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2018_12232() {
+  BugScenario s;
+  s.id = "CVE-2018-12232";
+  s.subsystem = "SockFS";
+  s.bug_kind = "NULL pointer dereference";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr inode_sock = image.AddGlobal("inode_sock", 0);
+  const Addr sock_alive = image.AddGlobal("inode_sock_alive", 0);
+  const Addr inode_ctime = image.AddGlobal("inode_ctime", 100);
+
+  {
+    ProgramBuilder b("socket_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: sock = kmalloc()")
+        .Lea(R2, inode_sock)
+        .Store(R2, R1)
+        .Note("S2: inode->sock = sock")
+        .Lea(R3, sock_alive)
+        .StoreImm(R3, 1)
+        .Note("S3: inode->sock_alive = 1")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("fchownat");
+    b.Lea(R1, sock_alive)
+        .Load(R2, R1)
+        .Note("A1: if (!inode->sock_alive) return")
+        .Beqz(R2, "out")
+        .Lea(R3, inode_sock)
+        .Load(R4, R3)
+        .Note("A2: s = inode->sock")
+        .StoreImm(R4, 1000, 0)
+        .Note("A3: s->owner = uid  <- NULL deref")
+        .Lea(R8, inode_ctime)
+        .Load(R9, R8)
+        .Note("A-st: inode->ctime update (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("A-st': inode->ctime update (benign)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("sock_close");
+    b.Lea(R1, inode_sock)
+        .Load(R2, R1)
+        .Note("B0: s = inode->sock")
+        .StoreImm(R1, 0)
+        .Note("B1: inode->sock = NULL")
+        .Lea(R3, sock_alive)
+        .StoreImm(R3, 0)
+        .Note("B2: inode->sock_alive = 0")
+        .Lea(R8, inode_ctime)
+        .Load(R9, R8)
+        .Note("B-st: inode->ctime update (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("B-st': inode->ctime update (benign)")
+        .Beqz(R2, "out")
+        .Free(R2)
+        .Note("B3: sock_release(s)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"socket()", image.ProgramByName("socket_setup"), 0, ThreadKind::kSyscall}};
+  s.setup_resources = {"sock_fd"};
+  s.slice = {
+      {"fchownat(sock_fd)", image.ProgramByName("fchownat"), 0, ThreadKind::kSyscall},
+      {"close(sock_fd)", image.ProgramByName("sock_close"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"sock_fd", "sock_fd"};
+
+  s.truth.failure_type = FailureType::kNullDeref;
+  s.truth.multi_variable = true;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"inode_sock", "inode_sock_alive"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

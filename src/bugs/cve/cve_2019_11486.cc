@@ -1,0 +1,105 @@
+// CVE-2019-11486 — Siemens R3964 line discipline race (TTY).
+//
+// ioctl(TIOCSETD) swaps tty->ldisc to a fresh object and frees the old one
+// while a concurrent read() still dereferences the pointer it loaded before
+// the swap:
+//
+//   A (ioctl TIOCSETD):                B (read):
+//   A1 old = tty->ldisc;               B1 d = tty->ldisc;
+//   A2 tty->ldisc = new_ldisc;         B2 use(d->ops);      <- UAF read
+//   A3 kfree(old);
+//
+// Failure needs B1 => A2 (B grabs the doomed object) and A3 => B2.
+// Expected chain: (B1 => A2) --> (A3 => B2) --> UAF read.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2019_11486() {
+  BugScenario s;
+  s.id = "CVE-2019-11486";
+  s.subsystem = "TTY";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr tty_ldisc = image.AddGlobal("tty_ldisc", 0);
+  const Addr tty_stats = image.AddGlobal("tty_rx_stats", 0);
+
+  // The boot-time ldisc is installed by a setup syscall so the racing
+  // threads start from a realistic state.
+  {
+    ProgramBuilder b("tty_open_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: initial ldisc = kmalloc()")
+        .StoreImm(R1, 9, 0)
+        .Note("S2: ldisc->ops = r3964_ops")
+        .Lea(R2, tty_ldisc)
+        .Store(R2, R1)
+        .Note("S3: tty->ldisc = ldisc")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("tiocsetd");
+    b.Lea(R1, tty_ldisc)
+        .Load(R2, R1)
+        .Note("A1: old = tty->ldisc")
+        .Alloc(R3, 2)
+        .Note("A1': new_ldisc = kmalloc()")
+        .StoreImm(R3, 7, 0)
+        .Note("A1'': new_ldisc->ops = n_tty_ops")
+        .Store(R1, R3)
+        .Note("A2: tty->ldisc = new_ldisc")
+        .Free(R2)
+        .Note("A3: kfree(old)")
+        .Lea(R8, tty_stats)
+        .Load(R9, R8)
+        .Note("A-st: tty->rx_stats++ (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("A-st': tty->rx_stats++ (benign)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("tty_read");
+    b.Lea(R1, tty_ldisc)
+        .Load(R2, R1)
+        .Note("B1: d = tty->ldisc")
+        .Beqz(R2, "out")
+        .Load(R3, R2, 0)
+        .Note("B2: use(d->ops)  <- UAF if A3 => B2")
+        .Lea(R8, tty_stats)
+        .Load(R9, R8)
+        .Note("B-st: tty->rx_stats++ (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("B-st': tty->rx_stats++ (benign)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"open(/dev/tty)", image.ProgramByName("tty_open_setup"), 0, ThreadKind::kSyscall}};
+  s.setup_resources = {"tty_fd"};
+  s.slice = {
+      {"ioctl(TIOCSETD)", image.ProgramByName("tiocsetd"), 0, ThreadKind::kSyscall},
+      {"read(tty)", image.ProgramByName("tty_read"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"tty_fd", "tty_fd"};
+
+  s.truth.failure_type = FailureType::kUseAfterFreeRead;
+  s.truth.multi_variable = false;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"tty_ldisc"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;  // single-pointer atomicity violation
+  return s;
+}
+
+}  // namespace aitia

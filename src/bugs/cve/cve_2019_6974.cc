@@ -1,0 +1,131 @@
+// CVE-2019-6974 — KVM device fd published before the kvm reference is taken.
+//
+// kvm_ioctl_create_device() installs the device's fd into the fd table
+// (VFS layer) *before* grabbing a reference on the kvm object (KVM layer).
+// A concurrent close() on the guessed fd releases the last kvm reference and
+// frees the kvm struct, so the creator's later refcount_inc lands in freed
+// memory:
+//
+//   A (ioctl KVM_CREATE_DEVICE):       B (close(fd)):
+//   A1 dev = kmalloc();                B1 d = fd_table[fd]; if (!d) return;
+//   A2 fd_table[fd] = dev;             B2 fd_table[fd] = 0;
+//   A3 refcount_inc(&kvm->users);      B3 if (refcount_dec(&kvm->users)==0)
+//   A4 dev->kvm = kvm;                 B4     kfree(kvm);
+//
+// The racing objects — the fd table slot (VFS) and the kvm object (KVM) —
+// are *loosely correlated* (§2.2): most syscalls touch one without the
+// other. Expected chain: (A2 => B1) --> (B4 => A3) --> UAF write.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeCve2019_6974() {
+  BugScenario s;
+  s.id = "CVE-2019-6974";
+  s.subsystem = "KVM";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr fd_slot = image.AddGlobal("fd_table_slot", 0);
+  const Addr kvm_ptr = image.AddGlobal("kvm_ptr", 0);
+  const Addr vfs_stats = image.AddGlobal("vfs_open_count", 0);
+
+  // setup: create the VM object with one live reference.
+  {
+    ProgramBuilder b("kvm_create_vm_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: kvm = kzalloc()")
+        .StoreImm(R1, 1, 0)
+        .Note("S2: refcount_set(&kvm->users, 1)")
+        .Lea(R2, kvm_ptr)
+        .Store(R2, R1)
+        .Note("S3: publish kvm")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("kvm_create_device");
+    b.Lea(R8, vfs_stats)
+        .Load(R9, R8)
+        .Note("A-st: vfs stats (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("A-st': vfs stats (benign)")
+        .Alloc(R1, 2)
+        .Note("A1: dev = kmalloc()")
+        .Lea(R2, fd_slot)
+        .Store(R2, R1)
+        .Note("A2: fd_install(fd, dev)  <- fd visible too early")
+        .Lea(R3, kvm_ptr)
+        .Load(R4, R3)
+        .Note("A3: kvm = this->kvm")
+        .RefGet(R4, 0)
+        .Note("A3': refcount_inc(&kvm->users)  <- UAF if B4 => A3'")
+        .Store(R1, R4, 1)
+        .Note("A4: dev->kvm = kvm")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("close_fd");
+    b.Lea(R1, fd_slot)
+        .Load(R2, R1)
+        .Note("B1: d = fd_table[fd]")
+        .Lea(R3, kvm_ptr)
+        .Load(R4, R3)
+        .Note("B1': kvm = file->private_data")
+        .Beqz(R2, "out")
+        .StoreImm(R1, 0)
+        .Note("B2: fd_table[fd] = NULL")
+        .RefPut(R5, R4, 0)
+        .Note("B3': refcount_dec(&kvm->users)")
+        .Beqz(R5, "out")
+        .Free(R4)
+        .Note("B4: kfree(kvm)")
+        .Free(R2)
+        .Note("B4': kfree(dev)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {
+      {"ioctl(KVM_CREATE_VM)", image.ProgramByName("kvm_create_vm_setup"), 0,
+       ThreadKind::kSyscall}};
+  s.setup_resources = {"kvm_fd"};
+  {
+    ProgramBuilder b("vfs_fd_read");
+    b.Lea(R1, fd_slot)
+        .Load(R2, R1)
+        .Note("N1: d = fd_table[fd] (VFS-only noise)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"ioctl(KVM_CREATE_DEVICE)", image.ProgramByName("kvm_create_device"), 0,
+       ThreadKind::kSyscall},
+      {"close(device_fd)", image.ProgramByName("close_fd"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"kvm_fd", "kvm_fd"};
+  s.noise = {
+      {"read(device_fd)", image.ProgramByName("vfs_fd_read"), 0, ThreadKind::kSyscall},
+      {"fstat(device_fd)", image.ProgramByName("vfs_fd_read"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kUseAfterFreeWrite;
+  s.truth.multi_variable = true;
+  s.truth.loosely_correlated = true;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"fd_table_slot", "kvm_ptr"};
+  s.truth.muvi_assumption_holds = false;  // loosely correlated objects
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

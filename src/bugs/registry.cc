@@ -1,0 +1,77 @@
+#include "src/bugs/registry.h"
+
+#include <cstdlib>
+
+#include "src/util/log.h"
+
+namespace aitia {
+
+const std::vector<ScenarioEntry>& AllScenarios() {
+  static const std::vector<ScenarioEntry> kScenarios = {
+      // Table 2 (CVEs).
+      {"CVE-2019-11486", MakeCve2019_11486},
+      {"CVE-2019-6974", MakeCve2019_6974},
+      {"CVE-2018-12232", MakeCve2018_12232},
+      {"CVE-2017-15649", MakeCve2017_15649},
+      {"CVE-2017-10661", MakeCve2017_10661},
+      {"CVE-2017-7533", MakeCve2017_7533},
+      {"CVE-2017-2671", MakeCve2017_2671},
+      {"CVE-2017-2636", MakeCve2017_2636},
+      {"CVE-2016-10200", MakeCve2016_10200},
+      {"CVE-2016-8655", MakeCve2016_8655},
+      // Table 3 (syzkaller bugs).
+      {"syz-01", MakeSyz01L2tpOob},
+      {"syz-02", MakeSyz02PacketAssert},
+      {"syz-03", MakeSyz03Pppol2tpUaf},
+      {"syz-04", MakeSyz04KvmIrqfdUaf},
+      {"syz-05", MakeSyz05RxrpcUaf},
+      {"syz-06", MakeSyz06BpfGpf},
+      {"syz-07", MakeSyz07BlockUaf},
+      {"syz-08", MakeSyz08CanJ1939Refcount},
+      {"syz-09", MakeSyz09SeccompLeak},
+      {"syz-10", MakeSyz10MdAssert},
+      {"syz-11", MakeSyz11FloppyAssert},
+      {"syz-12", MakeSyz12BluetoothScoUaf},
+      // Abstract figures.
+      {"fig-1", MakeFig1},
+      {"fig-5", MakeFig5},
+      {"fig-4b", MakeFig4b},
+      {"fig-4c", MakeFig4c},
+      {"fig-7", MakeFig7},
+      // §4.6 future-work extension: hardware-IRQ contexts.
+      {"ext-irq", MakeExtIrqSerialUaf},
+  };
+  return kScenarios;
+}
+
+std::vector<ScenarioEntry> Table2Scenarios() {
+  std::vector<ScenarioEntry> out;
+  for (const auto& e : AllScenarios()) {
+    if (std::string(e.id).rfind("CVE-", 0) == 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioEntry> Table3Scenarios() {
+  std::vector<ScenarioEntry> out;
+  for (const auto& e : AllScenarios()) {
+    if (std::string(e.id).rfind("syz-", 0) == 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+BugScenario MakeScenario(const std::string& id) {
+  for (const auto& e : AllScenarios()) {
+    if (id == e.id) {
+      return e.make();
+    }
+  }
+  AITIA_LOG(kError) << "unknown scenario: " << id;
+  std::abort();
+}
+
+}  // namespace aitia

@@ -1,0 +1,68 @@
+// Registry of every modeled bug (Tables 2/3 and the abstract figures).
+
+#ifndef SRC_BUGS_REGISTRY_H_
+#define SRC_BUGS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bugs/scenario.h"
+
+namespace aitia {
+
+using ScenarioFactory = BugScenario (*)();
+
+struct ScenarioEntry {
+  const char* id;
+  ScenarioFactory make;
+};
+
+// All registered scenarios, in the order of the paper's tables: Table 2
+// CVEs, Table 3 syzkaller bugs, then the abstract figures.
+const std::vector<ScenarioEntry>& AllScenarios();
+
+// Scenarios belonging to Table 2 / Table 3 (prefix-based subsets).
+std::vector<ScenarioEntry> Table2Scenarios();
+std::vector<ScenarioEntry> Table3Scenarios();
+
+// Builds a scenario by id; aborts on unknown id.
+BugScenario MakeScenario(const std::string& id);
+
+// --- individual scenario factories ------------------------------------------
+// Abstract figures.
+BugScenario MakeFig1();        // two-variable NULL deref (Figure 1)
+BugScenario MakeFig5();        // LIFS search-tree example (Figure 5)
+BugScenario MakeFig7();        // nested/surrounding ambiguity (Figure 7)
+BugScenario MakeExtIrqSerialUaf();  // hardware-IRQ injection (§4.6 extension)
+BugScenario MakeFig4b();       // single syscall vs its own kworker + RCU (Fig. 4b)
+BugScenario MakeFig4c();       // three contexts chained over three objects (Fig. 4c)
+
+// Table 2: CVEs.
+BugScenario MakeCve2019_11486();
+BugScenario MakeCve2019_6974();
+BugScenario MakeCve2018_12232();
+BugScenario MakeCve2017_15649();
+BugScenario MakeCve2017_10661();
+BugScenario MakeCve2017_7533();
+BugScenario MakeCve2017_2671();
+BugScenario MakeCve2017_2636();
+BugScenario MakeCve2016_10200();
+BugScenario MakeCve2016_8655();
+
+// Table 3: syzkaller-reported bugs.
+BugScenario MakeSyz01L2tpOob();
+BugScenario MakeSyz02PacketAssert();
+BugScenario MakeSyz03Pppol2tpUaf();
+BugScenario MakeSyz04KvmIrqfdUaf();   // Figure 9
+BugScenario MakeSyz05RxrpcUaf();
+BugScenario MakeSyz06BpfGpf();
+BugScenario MakeSyz07BlockUaf();
+BugScenario MakeSyz08CanJ1939Refcount();
+BugScenario MakeSyz09SeccompLeak();
+BugScenario MakeSyz10MdAssert();
+BugScenario MakeSyz11FloppyAssert();
+BugScenario MakeSyz12BluetoothScoUaf();
+
+}  // namespace aitia
+
+#endif  // SRC_BUGS_REGISTRY_H_

@@ -1,0 +1,93 @@
+#include "src/bugs/scenario.h"
+
+#include "src/sim/builder.h"
+#include "src/sim/kernel.h"
+
+namespace aitia {
+namespace {
+
+// Lazily installs a generic background-activity program in the image: a few
+// kernel daemons hammering shared statistics counters. Real failed
+// executions from a bug finder are full of such benign traffic (§2.3, §5.2)
+// — this is what the fuzzing workload drags in around every bug.
+ProgramId EnsureBackgroundNoise(KernelImage& image) {
+  ProgramId existing = image.FindProgram("bg_stats_daemon");
+  if (existing != kNoProgram) {
+    return existing;
+  }
+  constexpr int kCounters = 4;
+  constexpr int kRounds = 4;
+  std::vector<Addr> counters;
+  counters.reserve(kCounters);
+  for (int i = 0; i < kCounters; ++i) {
+    counters.push_back(image.AddGlobal("bg_stat_" + std::to_string(i), 0));
+  }
+  ProgramBuilder b("bg_stats_daemon");
+  b.MovImm(R7, kRounds).Label("round");
+  for (int i = 0; i < kCounters; ++i) {
+    std::string tag = "N" + std::to_string(i);
+    b.Lea(R1, counters[static_cast<size_t>(i)])
+        .Load(R2, R1)
+        .Note(tag + ": per-cpu stat read (benign)")
+        .AddImm(R2, R2, 1)
+        .Store(R1, R2)
+        .Note(tag + "': per-cpu stat write (benign)");
+  }
+  b.AddImm(R7, R7, -1).Bnez(R7, "round").Exit();
+  return image.AddProgram(b.Build());
+}
+
+}  // namespace
+
+std::vector<std::pair<Addr, Addr>> RacingAddressRanges(const BugScenario& scenario) {
+  std::vector<std::pair<Addr, Addr>> ranges;
+  // Probe sim: runs the setup phase so published pointers are visible.
+  KernelSim probe(scenario.image.get(), scenario.slice, scenario.setup);
+  for (const std::string& name : scenario.truth.racing_globals) {
+    const Addr g = scenario.image->GlobalAddr(name);
+    ranges.emplace_back(g, g + 1);
+    const Word value = probe.memory().Peek(g);
+    if (value > 0) {
+      const HeapObject* obj = probe.memory().FindObject(static_cast<Addr>(value));
+      if (obj != nullptr) {
+        ranges.emplace_back(obj->base, obj->base + static_cast<Addr>(obj->cells));
+      }
+    }
+  }
+  return ranges;
+}
+
+bool InRanges(const std::vector<std::pair<Addr, Addr>>& ranges, Addr addr) {
+  for (const auto& [begin, end] : ranges) {
+    if (addr >= begin && addr < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FuzzWorkload BugScenario::MakeWorkload() const {
+  FuzzWorkload w;
+  w.image = image.get();
+  w.threads = slice;
+  w.resources = slice_resources;
+  w.resources.resize(w.threads.size());
+  for (const ThreadSpec& n : noise) {
+    w.threads.push_back(n);
+    w.resources.emplace_back();
+  }
+  // Failed executions at the bug finder are full of unrelated kernel
+  // activity; two stats daemons provide the benign-race background the
+  // paper's conciseness numbers are measured against (§5.2).
+  ProgramId daemon = EnsureBackgroundNoise(*image);
+  w.threads.push_back({"kworker:events#stats0", daemon, 0, ThreadKind::kKworker});
+  w.threads.push_back({"kworker:events#stats1", daemon, 0, ThreadKind::kKworker});
+  w.resources.emplace_back();
+  w.resources.emplace_back();
+  w.setup = setup;
+  w.setup_resources = setup_resources;
+  w.setup_resources.resize(w.setup.size());
+  return w;
+}
+
+}  // namespace aitia

@@ -1,0 +1,78 @@
+// Bug-scenario framework.
+//
+// Each of the paper's 22 evaluated bugs (Tables 2 and 3) plus the abstract
+// figures is modeled as a BugScenario: a kernel image (programs + globals),
+// the failing concurrent group, optional setup syscalls and fuzzing noise,
+// and ground truth used by the benchmarks to score AITIA and the baselines.
+
+#ifndef SRC_BUGS_SCENARIO_H_
+#define SRC_BUGS_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/sim/failure.h"
+#include "src/sim/program.h"
+#include "src/sim/thread.h"
+
+namespace aitia {
+
+struct GroundTruth {
+  FailureType failure_type = FailureType::kNone;
+  bool multi_variable = false;
+  bool loosely_correlated = false;
+  // Paper-reported columns used for paper-vs-measured comparison.
+  int paper_chain_races = 0;       // Table 3 "# of races in chain" (0 = n/a)
+  int paper_interleavings = 1;     // Tables 2/3 "Inter." column
+  // What this modeled scenario is designed to produce (asserted by tests;
+  // may differ from the paper numbers where the model simplifies — any gap
+  // is recorded in EXPERIMENTS.md). 0 = only assert a non-empty chain.
+  int expected_chain_races = 0;
+  int expected_interleavings = 1;
+  // Names of the globals (or object field descriptions) actually racing.
+  std::vector<std::string> racing_globals;
+  // Whether the MUVI access-correlation assumption holds for the bug.
+  bool muvi_assumption_holds = false;
+  // Whether the root cause fits a single-variable atomicity/order-violation
+  // pattern (what Gist/Snorlax-style localization can express).
+  bool single_variable_pattern = false;
+  bool expect_ambiguity = false;
+};
+
+struct BugScenario {
+  std::string id;         // "CVE-2017-15649", "syz-04", "fig-1", ...
+  std::string subsystem;  // "Packet socket", "KVM", ...
+  std::string bug_kind;   // "Assertion violation", "Use-after-free access", ...
+  std::shared_ptr<KernelImage> image;
+
+  // The failing concurrent group and its sequential prologue.
+  std::vector<ThreadSpec> slice;
+  std::vector<ThreadSpec> setup;
+  // Resource tags, parallel to slice/setup (empty = none).
+  std::vector<std::string> slice_resources;
+  std::vector<std::string> setup_resources;
+  // Extra concurrent noise syscalls for the fuzzing workload.
+  std::vector<ThreadSpec> noise;
+  // Hardware-IRQ sources LIFS may inject (§4.6 extension scenarios).
+  std::vector<IrqLine> irq_lines;
+
+  GroundTruth truth;
+
+  // Fuzzing workload: slice + noise.
+  FuzzWorkload MakeWorkload() const;
+};
+
+// Address ranges of the bug's true racing state: each racing global's own
+// cell plus, when the global holds a heap pointer after setup, the pointed
+// object's cells. Used by the benchmarks to score baseline outputs.
+std::vector<std::pair<Addr, Addr>> RacingAddressRanges(const BugScenario& scenario);
+
+// True if `addr` falls in any of `ranges` ([begin, end) pairs).
+bool InRanges(const std::vector<std::pair<Addr, Addr>>& ranges, Addr addr);
+
+}  // namespace aitia
+
+#endif  // SRC_BUGS_SCENARIO_H_

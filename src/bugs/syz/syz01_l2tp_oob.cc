@@ -1,0 +1,124 @@
+// syz-01 — "KASAN: slab-out-of-bounds Read in pppol2tp_connect" (L2TP).
+//
+// A reconfiguration path in the L2TP layer enlarges the session's payload
+// offset; the transmit path in the net core indexes an sk_buff with it. The
+// flag and the offset live in the L2TP session while the buffer belongs to
+// the networking core — loosely correlated objects (§2.2):
+//
+// The offset is only enlarged transiently while the reconfiguration is in
+// flight, so the bug needs the reader to interleave into the window:
+//
+//   A (setsockopt L2TP):               B (sendmsg):
+//   A1 sess->reconfigured = 1;         B1 if (sess->reconfigured)
+//   A2 sess->offset = 3;               B2     off = sess->offset; else off=1;
+//   A3 sess->offset = 1;               B3 read skb[off];      <- OOB
+//   A4 sess->reconfigured = 0;
+//
+// Expected chain: (A1 => B1) --> (A2 => B2) --> slab-out-of-bounds.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz01L2tpOob() {
+  BugScenario s;
+  s.id = "syz-01";
+  s.subsystem = "L2TP";
+  s.bug_kind = "Slab-out-of-bound access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr reconf = image.AddGlobal("sess_reconfigured", 0);
+  const Addr sess_off = image.AddGlobal("sess_offset", 1);
+  const Addr skb_head = image.AddGlobal("skb_head", 0);
+  const Addr tx_bytes = image.AddGlobal("tx_bytes", 0);
+
+  {
+    ProgramBuilder b("l2tp_session_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: skb = alloc_skb(2)")
+        .Lea(R2, skb_head)
+        .Store(R2, R1)
+        .Note("S2: publish skb")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("l2tp_setsockopt");
+    b.Lea(R1, reconf)
+        .StoreImm(R1, 1)
+        .Note("A1: sess->reconfigured = 1")
+        .Lea(R2, sess_off)
+        .StoreImm(R2, 3)
+        .Note("A2: sess->offset = 3 (transient)")
+        .StoreImm(R2, 1)
+        .Note("A3: sess->offset = 1 (reconfig settles)")
+        .StoreImm(R1, 0)
+        .Note("A4: sess->reconfigured = 0")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("pppol2tp_sendmsg");
+    b.Lea(R1, reconf)
+        .Load(R2, R1)
+        .Note("B1: if (sess->reconfigured)")
+        .MovImm(R3, 1)
+        .Beqz(R2, "have_off")
+        .Lea(R4, sess_off)
+        .Load(R3, R4)
+        .Note("B2: off = sess->offset")
+        .Label("have_off")
+        .Lea(R5, skb_head)
+        .Load(R6, R5)
+        .Note("B2': skb = sess->skb")
+        .Add(R7, R6, R3)
+        .Load(R8, R7)
+        .Note("B3: read skb[off]  <- OOB with the enlarged offset")
+        .Lea(R9, tx_bytes)
+        .Load(R10, R9)
+        .Note("B-st: tx_bytes += len (benign)")
+        .AddImm(R10, R10, 8)
+        .Store(R9, R10)
+        .Note("B-st': tx_bytes += len (benign)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"socket(PPPOL2TP)", image.ProgramByName("l2tp_session_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"l2tp_fd"};
+  {
+    ProgramBuilder b("l2tp_getsockopt");
+    b.Lea(R1, reconf)
+        .Load(R2, R1)
+        .Note("N1: read sess->reconfigured (noise)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"setsockopt(L2TP)", image.ProgramByName("l2tp_setsockopt"), 0, ThreadKind::kSyscall},
+      {"sendmsg(l2tp)", image.ProgramByName("pppol2tp_sendmsg"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"l2tp_fd", "l2tp_fd"};
+  s.noise = {
+      {"getsockopt(L2TP) #1", image.ProgramByName("l2tp_getsockopt"), 0, ThreadKind::kSyscall},
+      {"getsockopt(L2TP) #2", image.ProgramByName("l2tp_getsockopt"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kOutOfBounds;
+  s.truth.multi_variable = true;
+  s.truth.loosely_correlated = true;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 3;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"sess_reconfigured", "sess_offset"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

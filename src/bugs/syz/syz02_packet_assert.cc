@@ -1,0 +1,86 @@
+// syz-02 — "general protection fault in packet_lookup_frame" modeled as the
+// paper reports it: an assertion violation on the ring state machine
+// (Packet socket, single variable, a long causality chain).
+//
+// One state word ping-pongs between the two syscalls; each transition is
+// race-steered by the previous one:
+//
+//   A (setsockopt):                    B (poll):
+//   A1 st = 1;                         B1 if (st == 1)
+//   A2 if (st == 2)                    B2     st = 2;
+//   A3     st = 3;                     B3 if (st == 3)
+//                                      B4     BUG();   // frame state invalid
+//
+// Expected chain: (A1=>B1) --> (B2=>A2) --> (A3=>B3) --> BUG.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz02PacketAssert() {
+  BugScenario s;
+  s.id = "syz-02";
+  s.subsystem = "Packet socket";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr frame_st = image.AddGlobal("ring_frame_status", 0);
+
+  {
+    ProgramBuilder b("packet_setsockopt");
+    b.Lea(R1, frame_st)
+        .StoreImm(R1, 1)
+        .Note("A1: frame->status = TP_STATUS_SEND_REQUEST")
+        .Load(R2, R1)
+        .Note("A2: if (frame->status == TP_STATUS_SENDING)")
+        .MovImm(R3, 2)
+        .Bne(R2, R3, "out")
+        .StoreImm(R1, 3)
+        .Note("A3: frame->status = TP_STATUS_CLOSING")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("packet_poll");
+    b.Lea(R1, frame_st)
+        .Load(R2, R1)
+        .Note("B1: if (frame->status == TP_STATUS_SEND_REQUEST)")
+        .MovImm(R3, 1)
+        .Bne(R2, R3, "out")
+        .StoreImm(R1, 2)
+        .Note("B2: frame->status = TP_STATUS_SENDING")
+        .Load(R4, R1)
+        .Note("B3: if (frame->status == TP_STATUS_CLOSING)")
+        .MovImm(R5, 3)
+        .Bne(R4, R5, "out")
+        .MovImm(R6, 0)
+        .BugOn(R6)
+        .Note("B4: BUG: invalid frame state transition")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"setsockopt(PACKET_TX_RING)", image.ProgramByName("packet_setsockopt"), 0,
+       ThreadKind::kSyscall},
+      {"poll(packet)", image.ProgramByName("packet_poll"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"packet_fd", "packet_fd"};
+
+  s.truth.failure_type = FailureType::kAssertViolation;
+  s.truth.multi_variable = false;
+  s.truth.paper_chain_races = 4;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 3;
+  s.truth.expected_interleavings = 2;
+  s.truth.racing_globals = {"ring_frame_status"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

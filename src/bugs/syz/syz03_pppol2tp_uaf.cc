@@ -1,0 +1,92 @@
+// syz-03 — "KASAN: use-after-free Read in pppol2tp_connect" (L2TP).
+//
+// connect() looks up the session while a concurrent tunnel teardown marks
+// it deleted and frees it; the deleted flag and the session pointer are
+// semantically correlated:
+//
+//   A (pppol2tp_connect):              B (tunnel_delete):
+//   A1 if (tunnel->deleted) ret;       B1 tunnel->deleted = 1;
+//   A2 s = tunnel->session;            B2 kfree(tunnel->session);
+//   A3 use(s->state);       <- UAF
+//
+// Expected chain: (A1 => B1) --> (B2 => A3) --> UAF read.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz03Pppol2tpUaf() {
+  BugScenario s;
+  s.id = "syz-03";
+  s.subsystem = "L2TP";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr deleted = image.AddGlobal("tunnel_deleted", 0);
+  const Addr session = image.AddGlobal("tunnel_session", 0);
+
+  {
+    ProgramBuilder b("l2tp_tunnel_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: session = kmalloc()")
+        .StoreImm(R1, 1, 0)
+        .Note("S2: session->state = CONNECTED")
+        .Lea(R2, session)
+        .Store(R2, R1)
+        .Note("S3: tunnel->session = session")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("pppol2tp_connect");
+    b.Lea(R1, deleted)
+        .Load(R2, R1)
+        .Note("A1: if (tunnel->deleted) return")
+        .Bnez(R2, "out")
+        .Lea(R3, session)
+        .Load(R4, R3)
+        .Note("A2: s = tunnel->session")
+        .Load(R5, R4, 0)
+        .Note("A3: use(s->state)  <- UAF read")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("l2tp_tunnel_delete");
+    b.Lea(R1, deleted)
+        .StoreImm(R1, 1)
+        .Note("B1: tunnel->deleted = 1")
+        .Lea(R2, session)
+        .Load(R3, R2)
+        .Note("B1': s = tunnel->session")
+        .Free(R3)
+        .Note("B2: kfree(session)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"socket(PPPOL2TP)", image.ProgramByName("l2tp_tunnel_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"tunnel_fd"};
+  s.slice = {
+      {"connect(pppol2tp)", image.ProgramByName("pppol2tp_connect"), 0, ThreadKind::kSyscall},
+      {"close(tunnel)", image.ProgramByName("l2tp_tunnel_delete"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"tunnel_fd", "tunnel_fd"};
+
+  s.truth.failure_type = FailureType::kUseAfterFreeRead;
+  s.truth.multi_variable = true;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"tunnel_deleted", "tunnel_session"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

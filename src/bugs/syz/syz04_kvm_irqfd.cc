@@ -1,0 +1,113 @@
+// syz-04 — "KASAN: use-after-free Write in irq_bypass_register_consumer"
+// (KVM, Figure 9).
+//
+// Syscall A initializes an irqfd in two non-atomic steps: it links the
+// object into a consumer list, then fills in its payload. Syscall B
+// concurrently unregisters: it pops the list and hands the object to a
+// kworker that frees it. The race A1 => B1 steers B into spawning the
+// kworker at all, and K1 => A2 lands the write in freed memory:
+//
+//   A:  A1 list_add(irqfd, consumers);     B:  B1 d = list_pop(consumers);
+//       A2 irqfd->data = token;  <- UAF        B2 if (d) queue_work(kfree, d);
+//                                          K:  K1 kfree(d);
+//
+// The list (irq bypass layer) and the irqfd payload (KVM layer) are loosely
+// correlated. Expected chain (Figure 9b): (A1 => B1) --> (K1 => A2) --> UAF.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz04KvmIrqfdUaf() {
+  BugScenario s;
+  s.id = "syz-04";
+  s.subsystem = "KVM";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr consumers = image.AddGlobal("irq_bypass_consumers", 0);
+  const Addr irqfd_slot = image.AddGlobal("irqfd_object", 0);
+
+  ProgramId kfree_work;
+  {
+    ProgramBuilder b("irqfd_shutdown_work");
+    b.Free(R0)
+        .Note("K1: kfree(irqfd)")
+        .Exit();
+    kfree_work = image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("irqfd_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: irqfd = kzalloc()")
+        .Lea(R2, irqfd_slot)
+        .Store(R2, R1)
+        .Note("S2: stash irqfd")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("irq_bypass_register");
+    b.Lea(R1, irqfd_slot)
+        .Load(R2, R1)
+        .Note("A0: irqfd = this->irqfd")
+        .Lea(R3, consumers)
+        .ListAdd(R3, R2)
+        .Note("A1: list_add(irqfd, &consumers)")
+        .StoreImm(R2, 42, 0)
+        .Note("A2: irqfd->data = token  <- UAF write if K1 => A2")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("irq_bypass_unregister");
+    b.Lea(R1, consumers)
+        .ListPop(R2, R1)
+        .Note("B1: d = list_pop(&consumers)")
+        .Beqz(R2, "out")
+        .QueueWork(kfree_work, R2)
+        .Note("B2: queue_work(irqfd_shutdown, d)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  {
+    ProgramBuilder b("irq_bypass_list_query");
+    b.Lea(R1, consumers)
+        .ListLen(R2, R1)
+        .Note("N1: len(&consumers) (bypass-layer-only noise)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"ioctl(KVM_IRQFD)", image.ProgramByName("irqfd_setup"), 0, ThreadKind::kSyscall}};
+  s.setup_resources = {"kvm_fd"};
+  s.slice = {
+      {"ioctl(KVM_IRQFD, assign)", image.ProgramByName("irq_bypass_register"), 0,
+       ThreadKind::kSyscall},
+      {"ioctl(KVM_IRQFD, deassign)", image.ProgramByName("irq_bypass_unregister"), 0,
+       ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"kvm_fd", "kvm_fd"};
+  s.noise = {
+      {"ioctl(query) #1", image.ProgramByName("irq_bypass_list_query"), 0, ThreadKind::kSyscall},
+      {"ioctl(query) #2", image.ProgramByName("irq_bypass_list_query"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kUseAfterFreeWrite;
+  s.truth.multi_variable = true;
+  s.truth.loosely_correlated = true;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"irq_bypass_consumers", "irqfd_object"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

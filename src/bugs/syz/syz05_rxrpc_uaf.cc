@@ -1,0 +1,91 @@
+// syz-05 — "KASAN: use-after-free Read in rxrpc_queue_local" (RxRPC).
+//
+// Closing an rxrpc socket schedules the local endpoint for destruction via
+// an RCU callback; a concurrent sendmsg still dereferences it. A
+// single-variable bug whose chain has exactly one race — the free in the
+// deferred context versus the use in the syscall:
+//
+//   A (close):                         B (sendmsg):
+//   A1 l = sk->local;                  B1 l = sk->local;
+//   A2 call_rcu(rxrpc_local_rcu, l);   B2 use(l->usage);   <- UAF
+//   K (rcu callback): K1 kfree(l);
+//
+// Expected chain: (K1 => B2) --> UAF read.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz05RxrpcUaf() {
+  BugScenario s;
+  s.id = "syz-05";
+  s.subsystem = "RxRPC";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr local_ptr = image.AddGlobal("rxrpc_local", 0);
+
+  ProgramId rcu_cb;
+  {
+    ProgramBuilder b("rxrpc_local_rcu");
+    b.Free(R0)
+        .Note("K1: kfree(local)")
+        .Exit();
+    rcu_cb = image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("rxrpc_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: local = kmalloc()")
+        .StoreImm(R1, 1, 0)
+        .Note("S2: local->usage = 1")
+        .Lea(R2, local_ptr)
+        .Store(R2, R1)
+        .Note("S3: sk->local = local")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("rxrpc_release");
+    b.Lea(R1, local_ptr)
+        .Load(R2, R1)
+        .Note("A1: l = sk->local")
+        .CallRcu(rcu_cb, R2)
+        .Note("A2: call_rcu(&l->rcu, rxrpc_local_rcu)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("rxrpc_sendmsg");
+    b.Lea(R1, local_ptr)
+        .Load(R2, R1)
+        .Note("B1: l = sk->local")
+        .Load(R3, R2, 0)
+        .Note("B2: use(l->usage)  <- UAF when K1 => B2")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"socket(AF_RXRPC)", image.ProgramByName("rxrpc_setup"), 0, ThreadKind::kSyscall}};
+  s.setup_resources = {"rxrpc_fd"};
+  s.slice = {
+      {"close(rxrpc)", image.ProgramByName("rxrpc_release"), 0, ThreadKind::kSyscall},
+      {"sendmsg(rxrpc)", image.ProgramByName("rxrpc_sendmsg"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"rxrpc_fd", "rxrpc_fd"};
+
+  s.truth.failure_type = FailureType::kUseAfterFreeRead;
+  s.truth.multi_variable = false;
+  s.truth.paper_chain_races = 1;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 1;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"rxrpc_local"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,108 @@
+// syz-06 — "general protection fault in dev_map_hash_update_elem" (BPF).
+//
+// A map resize swaps the bucket table and its stride and defers freeing the
+// old table to a kworker; a concurrent update samples the *old* table
+// pointer with the *new* stride, computing a wild address:
+//
+//   A (bpf update_elem):               B (bpf map resize):
+//   A1 t = map->table;                 B1 old = map->table;
+//   A2 h = t[0];        (header)      B2 new = kmalloc(big);
+//   A3 s = map->stride;                B3 map->table = new;
+//   A4 read t[s];       <- GPF         B4 map->stride = 32;
+//                                      B5 queue_work(kfree, old);
+//                                      K:  K1 kfree(old);
+//
+// Expected chain: (A1 => B3) ∧ (B4 => A3) --> GPF (plus the kworker free
+// racing the header read).
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz06BpfGpf() {
+  BugScenario s;
+  s.id = "syz-06";
+  s.subsystem = "BPF";
+  s.bug_kind = "General protection fault";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr table = image.AddGlobal("devmap_table", 0);
+  const Addr stride = image.AddGlobal("devmap_stride", 1);
+
+  ProgramId kfree_work;
+  {
+    ProgramBuilder b("devmap_free_work");
+    b.Free(R0)
+        .Note("K1: kfree(old_table)")
+        .Exit();
+    kfree_work = image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("devmap_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: table = kmalloc(2)")
+        .Lea(R2, table)
+        .Store(R2, R1)
+        .Note("S2: map->table = table")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("dev_map_update_elem");
+    b.Lea(R1, table)
+        .Load(R2, R1)
+        .Note("A1: t = map->table")
+        .Load(R3, R2, 0)
+        .Note("A2: h = t[0] (bucket header)")
+        .Lea(R4, stride)
+        .Load(R5, R4)
+        .Note("A3: s = map->stride")
+        .Add(R6, R2, R5)
+        .Load(R7, R6)
+        .Note("A4: read t[s]  <- GPF with old table, new stride")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("dev_map_resize");
+    b.Lea(R1, table)
+        .Load(R2, R1)
+        .Note("B1: old = map->table")
+        .Alloc(R3, 200)
+        .Note("B2: new = kmalloc(200)")
+        .Store(R1, R3)
+        .Note("B3: map->table = new")
+        .Lea(R4, stride)
+        .StoreImm(R4, 32)
+        .Note("B4: map->stride = 32")
+        .QueueWork(kfree_work, R2)
+        .Note("B5: queue_work(free_work, old)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"bpf(BPF_MAP_CREATE)", image.ProgramByName("devmap_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"map_fd"};
+  s.slice = {
+      {"bpf(BPF_MAP_UPDATE_ELEM)", image.ProgramByName("dev_map_update_elem"), 0,
+       ThreadKind::kSyscall},
+      {"bpf(map_resize)", image.ProgramByName("dev_map_resize"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"map_fd", "map_fd"};
+
+  s.truth.failure_type = FailureType::kGeneralProtection;
+  s.truth.multi_variable = true;
+  s.truth.paper_chain_races = 4;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 3;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"devmap_table", "devmap_stride"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,101 @@
+// syz-07 — "KASAN: use-after-free Read in delete_partition" (Block device).
+//
+// BLKPG partition deletion races with an open() that already resolved the
+// partition pointer; deletion clears the slot, drops the reference and
+// frees, while the opener keeps dereferencing:
+//
+//   A (ioctl BLKPG_DEL):               B (open(partition)):
+//   A1 p = disk->part[n];              B1 p = disk->part[n];
+//   A2 disk->part[n] = NULL;              if (!p) return;
+//   A3 kfree(p);                       B2 use(p->start_sect);
+//                                      B3 use(p->nr_sects);   <- UAF
+//
+// Expected chain: (B1 => A2) --> (A3 => B2) --> UAF read.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz07BlockUaf() {
+  BugScenario s;
+  s.id = "syz-07";
+  s.subsystem = "Block device";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr part_slot = image.AddGlobal("disk_part_slot", 0);
+  const Addr disk_stats = image.AddGlobal("disk_in_flight", 0);
+
+  {
+    ProgramBuilder b("partition_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: part = kmalloc()")
+        .StoreImm(R1, 2048, 0)
+        .Note("S2: part->start_sect = 2048")
+        .StoreImm(R1, 4096, 1)
+        .Note("S3: part->nr_sects = 4096")
+        .Lea(R2, part_slot)
+        .Store(R2, R1)
+        .Note("S4: disk->part[n] = part")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("blkpg_del_partition");
+    b.Lea(R1, part_slot)
+        .Load(R2, R1)
+        .Note("A1: p = disk->part[n]")
+        .Beqz(R2, "out")
+        .StoreImm(R1, 0)
+        .Note("A2: disk->part[n] = NULL")
+        .Free(R2)
+        .Note("A3: kfree(p)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("blkdev_open");
+    b.Lea(R8, disk_stats)
+        .Load(R9, R8)
+        .Note("B-st: in_flight++ (benign)")
+        .AddImm(R9, R9, 1)
+        .Store(R8, R9)
+        .Note("B-st': in_flight++ (benign)")
+        .Lea(R1, part_slot)
+        .Load(R2, R1)
+        .Note("B1: p = disk->part[n]")
+        .Beqz(R2, "out")
+        .Load(R3, R2, 0)
+        .Note("B2: use(p->start_sect)")
+        .Load(R4, R2, 1)
+        .Note("B3: use(p->nr_sects)  <- UAF read")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"ioctl(BLKPG_ADD)", image.ProgramByName("partition_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"blk_fd"};
+  s.slice = {
+      {"ioctl(BLKPG_DEL)", image.ProgramByName("blkpg_del_partition"), 0, ThreadKind::kSyscall},
+      {"open(/dev/sda1)", image.ProgramByName("blkdev_open"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"blk_fd", "blk_fd"};
+
+  s.truth.failure_type = FailureType::kUseAfterFreeRead;
+  s.truth.multi_variable = false;
+  s.truth.paper_chain_races = 4;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"disk_part_slot"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,106 @@
+// syz-08 — "WARNING: refcount bug in j1939_netdev_start" (CAN).
+//
+// A second bind() takes a reference on the per-netdev j1939 priv while a
+// concurrent unbind tears it down: the teardown flag, the refcount, and the
+// priv pointer interact across two preemptions (the paper reproduces this
+// bug with 2 interleavings — the only Table 3 entry needing more than one):
+//
+//   A (bind#2):                        B (unbind):
+//   A1 if (priv->teardown) ret;        B0 priv->teardown = 1;
+//   A2 p = dev->j1939_priv;            B5 z = refcount_dec(&p->rx_kref);
+//   A3 if (priv->teardown) ret;        if (z) {
+//   A4 refcount_inc(&p->rx_kref);      B6   dev->j1939_priv = NULL;
+//      <- WARN: inc-from-zero          B7   kfree(p); }
+//
+// The WARN needs A1..A3 before B0 and A4 after B5 but *before* B7 (else the
+// symptom is a KASAN UAF instead): two preemption points.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz08CanJ1939Refcount() {
+  BugScenario s;
+  s.id = "syz-08";
+  s.subsystem = "CAN";
+  s.bug_kind = "Refcount warning";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr teardown = image.AddGlobal("j1939_teardown", 0);
+  const Addr priv_ptr = image.AddGlobal("j1939_priv", 0);
+
+  {
+    ProgramBuilder b("j1939_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: priv = kzalloc()")
+        .StoreImm(R1, 1, 0)
+        .Note("S2: refcount_set(&priv->rx_kref, 1)")
+        .Lea(R2, priv_ptr)
+        .Store(R2, R1)
+        .Note("S3: dev->j1939_priv = priv")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("j1939_bind");
+    b.Lea(R1, teardown)
+        .Load(R2, R1)
+        .Note("A1: if (priv->teardown) return")
+        .Bnez(R2, "out")
+        .Lea(R3, priv_ptr)
+        .Load(R4, R3)
+        .Note("A2: p = dev->j1939_priv")
+        .Beqz(R4, "out")
+        .Load(R5, R1)
+        .Note("A3: recheck priv->teardown")
+        .Bnez(R5, "out")
+        .RefGet(R4, 0)
+        .Note("A4: refcount_inc(&p->rx_kref)  <- WARN on inc-from-zero")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("j1939_unbind");
+    b.Lea(R1, teardown)
+        .StoreImm(R1, 1)
+        .Note("B0: priv->teardown = 1")
+        .Lea(R2, priv_ptr)
+        .Load(R3, R2)
+        .Note("B1: p = dev->j1939_priv")
+        .Beqz(R3, "out")
+        .RefPut(R4, R3, 0)
+        .Note("B5: z = refcount_dec(&p->rx_kref)")
+        .Beqz(R4, "out")
+        .StoreImm(R2, 0)
+        .Note("B6: dev->j1939_priv = NULL")
+        .Free(R3)
+        .Note("B7: kfree(priv)")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"bind(j1939) #1", image.ProgramByName("j1939_setup"), 0, ThreadKind::kSyscall}};
+  s.setup_resources = {"can_fd"};
+  s.slice = {
+      {"bind(j1939) #2", image.ProgramByName("j1939_bind"), 0, ThreadKind::kSyscall},
+      {"close(j1939)", image.ProgramByName("j1939_unbind"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"can_fd", "can_fd"};
+
+  s.truth.failure_type = FailureType::kRefcountWarning;
+  s.truth.multi_variable = true;
+  s.truth.paper_chain_races = 5;
+  s.truth.paper_interleavings = 2;
+  s.truth.expected_chain_races = 4;
+  s.truth.expected_interleavings = 2;
+  s.truth.racing_globals = {"j1939_teardown", "j1939_priv"};
+  s.truth.muvi_assumption_holds = true;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

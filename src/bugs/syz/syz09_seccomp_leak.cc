@@ -1,0 +1,114 @@
+// syz-09 — "memory leak in do_seccomp" (Seccomp).
+//
+// Two concurrent filter installs both observe "no filter installed yet",
+// both allocate, and the second publish overwrites the first pointer — the
+// first filter becomes unreachable and leaks. The installed flag (task
+// state) and the filter pointer (seccomp layer) are loosely correlated.
+// A three-thread slice: two installers plus the closing path that frees the
+// published filter.
+//
+//   A/B (seccomp install):             C (exit/free):
+//   I1 f = kmalloc();                  C1 p = task->filter;
+//   I2 if (task->installed)            C2 if (p) kfree(p);
+//   I3     { kfree(f); return; }       C3 task->filter = NULL;
+//   I4 task->filter = f;     <- lost update leaks the other filter
+//   I5 task->installed = 1;
+//
+// Expected chain: the I2 => I5 check/publish race --> memory leak.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+void BuildInstall(KernelImage& image, const char* name, const char* tag, Addr installed,
+                  Addr filter) {
+  std::string t(tag);
+  ProgramBuilder b(name);
+  b.Alloc(R1, 1, /*leak_checked=*/true)
+      .Note(t + "1: f = kmalloc(filter)")
+      .Lea(R2, installed)
+      .Load(R3, R2)
+      .Note(t + "2: if (task->installed)")
+      .Beqz(R3, "publish")
+      .Free(R1)
+      .Note(t + "3: kfree(f); return -EEXIST")
+      .Exit()
+      .Label("publish")
+      .Lea(R4, filter)
+      .Store(R4, R1)
+      .Note(t + "4: task->filter = f")
+      .Lea(R5, installed)
+      .StoreImm(R5, 1)
+      .Note(t + "5: task->installed = 1")
+      .Exit();
+  image.AddProgram(b.Build());
+}
+
+}  // namespace
+
+BugScenario MakeSyz09SeccompLeak() {
+  BugScenario s;
+  s.id = "syz-09";
+  s.subsystem = "Seccomp";
+  s.bug_kind = "Memory leak";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr installed = image.AddGlobal("seccomp_installed", 0);
+  const Addr filter = image.AddGlobal("seccomp_filter", 0);
+
+  BuildInstall(image, "seccomp_install_a", "A", installed, filter);
+  BuildInstall(image, "seccomp_install_b", "B", installed, filter);
+  {
+    ProgramBuilder b("seccomp_release");
+    b.Lea(R1, filter)
+        .Load(R2, R1)
+        .Note("C1: p = task->filter")
+        .Beqz(R2, "out")
+        .Free(R2)
+        .Note("C2: kfree(p)")
+        .StoreImm(R1, 0)
+        .Note("C3: task->filter = NULL")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  {
+    ProgramBuilder b("seccomp_get_mode");
+    b.Lea(R1, installed)
+        .Load(R2, R1)
+        .Note("N1: read task->installed (noise)")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.slice = {
+      {"seccomp(SET_MODE_FILTER) #1", image.ProgramByName("seccomp_install_a"), 0,
+       ThreadKind::kSyscall},
+      {"seccomp(SET_MODE_FILTER) #2", image.ProgramByName("seccomp_install_b"), 0,
+       ThreadKind::kSyscall},
+      {"exit_group()", image.ProgramByName("seccomp_release"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"task", "task", "task"};
+  s.noise = {
+      {"seccomp(GET_MODE) #1", image.ProgramByName("seccomp_get_mode"), 0, ThreadKind::kSyscall},
+      {"seccomp(GET_MODE) #2", image.ProgramByName("seccomp_get_mode"), 0, ThreadKind::kSyscall},
+  };
+
+  s.truth.failure_type = FailureType::kMemoryLeak;
+  s.truth.multi_variable = true;
+  s.truth.loosely_correlated = true;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 0;  // assert non-empty only (leak chains vary)
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"seccomp_installed", "seccomp_filter"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = false;
+  return s;
+}
+
+}  // namespace aitia

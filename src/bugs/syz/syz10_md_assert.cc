@@ -1,0 +1,75 @@
+// syz-10 — "md: fix a warning caused by a race between concurrent
+// md_ioctl()s" (Software RAID).
+//
+// Two md_ioctl calls bump and check the in-flight counter without holding
+// the mddev lock; a lost-update between the increment and the consistency
+// check trips the WARN:
+//
+//   each ioctl: I1 c  = mddev->active_io;
+//               I2 mddev->active_io = c + 1;
+//               ... do work ...
+//               I3 c2 = mddev->active_io;
+//               I4 WARN_ON(c2 != c + 1);
+//
+// Expected chain: the cross-thread increment landing between I2 and I3.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+void BuildMdIoctl(KernelImage& image, const char* name, const char* tag, Addr active_io) {
+  std::string t(tag);
+  ProgramBuilder b(name);
+  b.Lea(R1, active_io)
+      .Load(R2, R1)
+      .Note(t + "1: c = mddev->active_io")
+      .AddImm(R3, R2, 1)
+      .Store(R1, R3)
+      .Note(t + "2: mddev->active_io = c + 1")
+      .Load(R4, R1)
+      .Note(t + "3: c2 = mddev->active_io")
+      .Beq(R4, R3, "ok")
+      .MovImm(R5, 0)
+      .WarnOn(R5)
+      .Note(t + "4: WARNING in md_ioctl: active_io inconsistent")
+      .Label("ok")
+      .Exit();
+  image.AddProgram(b.Build());
+}
+
+}  // namespace
+
+BugScenario MakeSyz10MdAssert() {
+  BugScenario s;
+  s.id = "syz-10";
+  s.subsystem = "Software RAID";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr active_io = image.AddGlobal("mddev_active_io", 0);
+
+  BuildMdIoctl(image, "md_ioctl_a", "A", active_io);
+  BuildMdIoctl(image, "md_ioctl_b", "B", active_io);
+
+  s.slice = {
+      {"ioctl(md, GET_ARRAY_INFO)", image.ProgramByName("md_ioctl_a"), 0, ThreadKind::kSyscall},
+      {"ioctl(md, RUN_ARRAY)", image.ProgramByName("md_ioctl_b"), 0, ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"md_fd", "md_fd"};
+
+  s.truth.failure_type = FailureType::kWarning;
+  s.truth.multi_variable = false;
+  s.truth.paper_chain_races = 4;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 0;  // assert non-empty
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"mddev_active_io"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,76 @@
+// syz-11 — "WARNING in schedule_bh" (Floppy).
+//
+// Two paths schedule floppy bottom-half work concurrently; the handler
+// WARNs when it observes itself re-entered:
+//
+//   each path: F1 n = fdc_inside_bh;
+//              F2 WARN_ON(n != 0);
+//              F3 fdc_inside_bh = 1;
+//              ... bottom half ...
+//              F4 fdc_inside_bh = 0;
+//
+// Expected chain: (F3 of one thread => F1 of the other) --> WARNING.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+void BuildScheduleBh(KernelImage& image, const char* name, const char* tag, Addr inside_bh) {
+  std::string t(tag);
+  ProgramBuilder b(name);
+  b.Lea(R1, inside_bh)
+      .Load(R2, R1)
+      .Note(t + "1: n = fdc_inside_bh")
+      .Beqz(R2, "enter")
+      .MovImm(R3, 0)
+      .WarnOn(R3)
+      .Note(t + "2: WARNING in schedule_bh: re-entered")
+      .Label("enter")
+      .StoreImm(R1, 1)
+      .Note(t + "3: fdc_inside_bh = 1")
+      .Nop()
+      .Note(t + "-bh: run bottom half")
+      .StoreImm(R1, 0)
+      .Note(t + "4: fdc_inside_bh = 0")
+      .Exit();
+  image.AddProgram(b.Build());
+}
+
+}  // namespace
+
+BugScenario MakeSyz11FloppyAssert() {
+  BugScenario s;
+  s.id = "syz-11";
+  s.subsystem = "Floppy";
+  s.bug_kind = "Assertion violation";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr inside_bh = image.AddGlobal("fdc_inside_bh", 0);
+
+  BuildScheduleBh(image, "floppy_schedule_bh_a", "A", inside_bh);
+  BuildScheduleBh(image, "floppy_schedule_bh_b", "B", inside_bh);
+
+  s.slice = {
+      {"ioctl(FDRAWCMD) #1", image.ProgramByName("floppy_schedule_bh_a"), 0,
+       ThreadKind::kSyscall},
+      {"ioctl(FDRAWCMD) #2", image.ProgramByName("floppy_schedule_bh_b"), 0,
+       ThreadKind::kSyscall},
+  };
+  s.slice_resources = {"fd0", "fd0"};
+
+  s.truth.failure_type = FailureType::kWarning;
+  s.truth.multi_variable = false;
+  s.truth.paper_chain_races = 2;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"fdc_inside_bh"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

@@ -1,0 +1,90 @@
+// syz-12 — "Bluetooth: fix dangling sco_conn and use-after-free in
+// sco_sock_timeout" (Bluetooth).
+//
+// The SCO socket timeout handler runs in a kworker and dereferences
+// sk->conn while a concurrent close frees the connection and only then
+// clears the pointer:
+//
+//   A (close):                         K (sco_sock_timeout, kworker):
+//   A1 c = sk->conn;                   K1 c = sk->conn;
+//   A2 kfree(c);                          if (!c) return;
+//   A3 sk->conn = NULL;                K2 use(c->state);   <- UAF read
+//
+// Expected chain: (K1 => A3) --> (A2 => K2) --> UAF read.
+
+#include "src/bugs/registry.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+
+BugScenario MakeSyz12BluetoothScoUaf() {
+  BugScenario s;
+  s.id = "syz-12";
+  s.subsystem = "Bluetooth";
+  s.bug_kind = "Use-after-free access";
+  s.image = std::make_shared<KernelImage>();
+
+  KernelImage& image = *s.image;
+  const Addr sco_conn = image.AddGlobal("sco_sk_conn", 0);
+
+  {
+    ProgramBuilder b("sco_connect_setup");
+    b.Alloc(R1, 2)
+        .Note("S1: conn = kmalloc()")
+        .StoreImm(R1, 1, 0)
+        .Note("S2: conn->state = BT_CONNECTED")
+        .Lea(R2, sco_conn)
+        .Store(R2, R1)
+        .Note("S3: sk->conn = conn")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("sco_sock_close");
+    b.Lea(R1, sco_conn)
+        .Load(R2, R1)
+        .Note("A1: c = sk->conn")
+        .Beqz(R2, "out")
+        .Free(R2)
+        .Note("A2: kfree(c)  <- freed before unpublishing")
+        .StoreImm(R1, 0)
+        .Note("A3: sk->conn = NULL")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("sco_sock_timeout");
+    b.Lea(R1, sco_conn)
+        .Load(R2, R1)
+        .Note("K1: c = sk->conn")
+        .Beqz(R2, "out")
+        .Load(R3, R2, 0)
+        .Note("K2: use(c->state)  <- UAF read")
+        .Label("out")
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+
+  s.setup = {{"connect(sco)", image.ProgramByName("sco_connect_setup"), 0,
+              ThreadKind::kSyscall}};
+  s.setup_resources = {"sco_fd"};
+  s.slice = {
+      {"close(sco)", image.ProgramByName("sco_sock_close"), 0, ThreadKind::kSyscall},
+      {"sco_sock_timeout", image.ProgramByName("sco_sock_timeout"), 0, ThreadKind::kKworker},
+  };
+  s.slice_resources = {"sco_fd", "sco_fd"};
+
+  s.truth.failure_type = FailureType::kUseAfterFreeRead;
+  s.truth.multi_variable = false;
+  s.truth.paper_chain_races = 4;
+  s.truth.paper_interleavings = 1;
+  s.truth.expected_chain_races = 2;
+  s.truth.expected_interleavings = 1;
+  s.truth.racing_globals = {"sco_sk_conn"};
+  s.truth.muvi_assumption_holds = false;
+  s.truth.single_variable_pattern = true;
+  return s;
+}
+
+}  // namespace aitia

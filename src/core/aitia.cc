@@ -1,0 +1,117 @@
+#include "src/core/aitia.h"
+
+#include <algorithm>
+
+#include "src/util/log.h"
+#include "src/util/strings.h"
+#include "src/util/thread_pool.h"
+
+namespace aitia {
+
+std::string AitiaReport::Render(const KernelImage& image) const {
+  std::string out;
+  if (!diagnosed) {
+    out += "AITIA: failure NOT reproduced";
+    out += StrFormat(" (%zu slice(s) tried, %lld schedules)\n", slices_tried,
+                     static_cast<long long>(lifs.schedules_executed));
+    return out;
+  }
+  out += "=== AITIA diagnosis ===\n";
+  out += "failure    : " + lifs.failure->ToString() + "\n";
+  out += StrFormat("LIFS       : reproduced with %d interleaving(s), %lld schedule(s), %.3fs\n",
+                   lifs.interleaving_count,
+                   static_cast<long long>(lifs.schedules_executed), lifs.seconds);
+  out += StrFormat("Causality  : %lld flip test(s), %.3fs\n",
+                   static_cast<long long>(causality.schedules_executed), causality.seconds);
+  out += "\nfailure-causing instruction sequence (memory accesses):\n";
+  for (const ExecEvent& e : lifs.failing_run.trace) {
+    if (!e.is_access) {
+      continue;
+    }
+    out += StrFormat("  [%4lld] T%d %s\n", static_cast<long long>(e.seq), e.di.tid,
+                     image.Describe(e.di.at).c_str());
+  }
+  out += "\ntested data races (backward):\n";
+  for (const TestedRace& t : causality.tested) {
+    out += StrFormat("  %-28s %-12s%s%s\n", RaceLabel(image, t.race).c_str(),
+                     RaceVerdictName(t.verdict), t.phantom ? " [phantom]" : "",
+                     t.race.cs_pair ? " [critical-section]" : "");
+  }
+  out += "\ncausality chain:\n  " + causality.chain.Render(image) + "\n";
+  return out;
+}
+
+AitiaReport DiagnoseSlice(const KernelImage& image, const std::vector<ThreadSpec>& slice,
+                          const std::vector<ThreadSpec>& setup, const AitiaOptions& options) {
+  AitiaReport report;
+  report.slices_tried = 1;
+  report.used_slice.threads = slice;
+  report.used_slice.setup = setup;
+
+  Lifs lifs(&image, slice, setup, options.lifs);
+  report.lifs = lifs.Run();
+  if (!report.lifs.reproduced) {
+    return report;
+  }
+  CausalityAnalysis ca(&image, slice, setup, &report.lifs, options.causality);
+  report.causality = ca.Run();
+  report.diagnosed = true;
+  return report;
+}
+
+AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& history,
+                            const AitiaOptions& options) {
+  AitiaReport report;
+  std::vector<Slice> slices = BuildSlices(history, options.slicer);
+  if (slices.size() > options.max_slices) {
+    slices.resize(options.max_slices);
+  }
+
+  AitiaOptions slice_options = options;
+  if (history.failure.has_value() && !slice_options.lifs.target.has_value()) {
+    slice_options.lifs.target = history.failure->failure;
+  }
+
+  if (options.reproducer_workers > 1 && slices.size() > 1) {
+    // Parallel reproducing stage: one LIFS instance per slice, keep the
+    // highest-priority slice that reproduced.
+    std::vector<LifsResult> results(slices.size());
+    ThreadPool pool(options.reproducer_workers);
+    ParallelFor(pool, slices.size(), [&](size_t i) {
+      Lifs lifs(&image, slices[i].threads, slices[i].setup, slice_options.lifs);
+      results[i] = lifs.Run();
+    });
+    for (size_t i = 0; i < slices.size(); ++i) {
+      ++report.slices_tried;
+      if (results[i].reproduced) {
+        report.used_slice = slices[i];
+        report.lifs = std::move(results[i]);
+        CausalityAnalysis ca(&image, slices[i].threads, slices[i].setup, &report.lifs,
+                             slice_options.causality);
+        report.causality = ca.Run();
+        report.diagnosed = true;
+        return report;
+      }
+    }
+    return report;
+  }
+
+  for (const Slice& slice : slices) {
+    ++report.slices_tried;
+    Lifs lifs(&image, slice.threads, slice.setup, slice_options.lifs);
+    LifsResult result = lifs.Run();
+    if (!result.reproduced) {
+      continue;
+    }
+    report.used_slice = slice;
+    report.lifs = std::move(result);
+    CausalityAnalysis ca(&image, slice.threads, slice.setup, &report.lifs,
+                         slice_options.causality);
+    report.causality = ca.Run();
+    report.diagnosed = true;
+    return report;
+  }
+  return report;
+}
+
+}  // namespace aitia

@@ -1,0 +1,60 @@
+// AITIA's public entry points (§4.1).
+//
+// The full workflow mirrors the paper:
+//
+//   1. Input: an ExecutionHistory (timestamped syscall traces + failure
+//      info) from a bug-finding system (src/fuzz), or a hand-picked slice.
+//   2. Modeling: the history is split into slices (src/trace).
+//   3. Reproducing: LIFS searches each slice — backward from the failure —
+//      until one reproduces the reported symptom.
+//   4. Diagnosing: Causality Analysis flips each data race of the
+//      failure-causing sequence and classifies it.
+//   5. Output: a causality chain with instruction-level information.
+
+#ifndef SRC_CORE_AITIA_H_
+#define SRC_CORE_AITIA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/causality.h"
+#include "src/core/lifs.h"
+#include "src/trace/history.h"
+#include "src/trace/slicer.h"
+
+namespace aitia {
+
+struct AitiaOptions {
+  LifsOptions lifs;
+  CausalityOptions causality;
+  SlicerOptions slicer;
+  // > 1 launches reproducers for all candidate slices in parallel (the
+  // paper's multi-VM reproducing stage); 1 tries slices sequentially,
+  // backward from the failure, stopping at the first reproduction.
+  size_t reproducer_workers = 1;
+  // Cap on candidate slices attempted.
+  size_t max_slices = 16;
+};
+
+struct AitiaReport {
+  bool diagnosed = false;
+  size_t slices_tried = 0;
+  Slice used_slice;
+  LifsResult lifs;
+  CausalityResult causality;
+
+  // Full human-readable diagnosis (races, verdicts, chain).
+  std::string Render(const KernelImage& image) const;
+};
+
+// Diagnoses a known concurrent group directly (skips modeling).
+AitiaReport DiagnoseSlice(const KernelImage& image, const std::vector<ThreadSpec>& slice,
+                          const std::vector<ThreadSpec>& setup, const AitiaOptions& options = {});
+
+// The full pipeline from a bug-finder's execution history.
+AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& history,
+                            const AitiaOptions& options = {});
+
+}  // namespace aitia
+
+#endif  // SRC_CORE_AITIA_H_

@@ -1,0 +1,214 @@
+#include "src/core/chain.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace {
+
+// Tag of one side: the "A6" of a note like "A6: po->fanout = match", falling
+// back to "prog+pc".
+std::string SideTag(const KernelImage& image, const DynInstr& di) {
+  const Program& p = image.program(di.at.prog);
+  if (di.at.pc >= 0 && di.at.pc < p.size()) {
+    const std::string& note = p.At(di.at.pc).note;
+    auto colon = note.find(':');
+    if (colon != std::string::npos && colon > 0 && colon <= 8) {
+      return note.substr(0, colon);
+    }
+  }
+  return StrFormat("%s+%d", p.name.c_str(), di.at.pc);
+}
+
+}  // namespace
+
+std::string RaceLabel(const KernelImage& image, const RacePair& race) {
+  std::string label = SideTag(image, race.first.di) + " => " + SideTag(image, race.second.di);
+  if (race.cs_pair) {
+    label = "cs{" + label + "}";
+  }
+  return label;
+}
+
+CausalityChain CausalityChain::Build(const std::vector<RacePair>& races,
+                                     const std::vector<std::vector<size_t>>& disappears,
+                                     const std::vector<bool>& ambiguous,
+                                     const Failure& failure) {
+  CausalityChain chain;
+  chain.failure_ = failure;
+  const size_t n = races.size();
+  if (n == 0) {
+    return chain;
+  }
+
+  // Reachability closure of the disappearance digraph (tiny n).
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j : disappears[i]) {
+      reach[i][j] = true;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) {
+        continue;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) {
+          reach[i][j] = true;
+        }
+      }
+    }
+  }
+
+  // Strongly connected components -> conjunction groups.
+  std::vector<int> comp(n, -1);
+  int ncomp = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (comp[i] != -1) {
+      continue;
+    }
+    comp[i] = ncomp;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (comp[j] == -1 && reach[i][j] && reach[j][i]) {
+        comp[j] = ncomp;
+      }
+    }
+    ++ncomp;
+  }
+
+  // Component edges (from the closure, then transitively reduced).
+  std::vector<std::set<int>> cedges(static_cast<size_t>(ncomp));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (reach[i][j] && comp[i] != comp[j]) {
+        cedges[static_cast<size_t>(comp[i])].insert(comp[j]);
+      }
+    }
+  }
+  // Transitive reduction: drop a->c when a->b and b->c exist.
+  std::vector<std::set<int>> reduced(static_cast<size_t>(ncomp));
+  for (int a = 0; a < ncomp; ++a) {
+    for (int c : cedges[static_cast<size_t>(a)]) {
+      bool redundant = false;
+      for (int b : cedges[static_cast<size_t>(a)]) {
+        if (b != c && cedges[static_cast<size_t>(b)].count(c) != 0) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) {
+        reduced[static_cast<size_t>(a)].insert(c);
+      }
+    }
+  }
+
+  // Topological order of components (causes before effects), tie-broken by
+  // earliest second.seq so the rendering follows the failing sequence.
+  std::vector<int64_t> comp_key(static_cast<size_t>(ncomp), 0);
+  for (size_t i = 0; i < n; ++i) {
+    auto& key = comp_key[static_cast<size_t>(comp[i])];
+    key = std::max(key, races[i].second.seq);
+  }
+  std::vector<int> indegree(static_cast<size_t>(ncomp), 0);
+  for (int a = 0; a < ncomp; ++a) {
+    for (int b : reduced[static_cast<size_t>(a)]) {
+      ++indegree[static_cast<size_t>(b)];
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(ncomp));
+  std::vector<bool> emitted(static_cast<size_t>(ncomp), false);
+  while (static_cast<int>(order.size()) < ncomp) {
+    int pick = -1;
+    for (int c = 0; c < ncomp; ++c) {
+      if (emitted[static_cast<size_t>(c)] || indegree[static_cast<size_t>(c)] != 0) {
+        continue;
+      }
+      if (pick == -1 ||
+          comp_key[static_cast<size_t>(c)] < comp_key[static_cast<size_t>(pick)]) {
+        pick = c;
+      }
+    }
+    if (pick == -1) {
+      // Defensive: should be acyclic after condensation; fall back to keys.
+      for (int c = 0; c < ncomp; ++c) {
+        if (!emitted[static_cast<size_t>(c)]) {
+          pick = c;
+          break;
+        }
+      }
+    }
+    emitted[static_cast<size_t>(pick)] = true;
+    order.push_back(pick);
+    for (int b : reduced[static_cast<size_t>(pick)]) {
+      --indegree[static_cast<size_t>(b)];
+    }
+  }
+
+  std::vector<size_t> comp_to_node(static_cast<size_t>(ncomp));
+  for (int c : order) {
+    ChainNode node;
+    for (size_t i = 0; i < n; ++i) {
+      if (comp[i] == c) {
+        node.races.push_back(races[i]);
+        node.ambiguous = node.ambiguous || ambiguous[i];
+      }
+    }
+    std::sort(node.races.begin(), node.races.end(),
+              [](const RacePair& a, const RacePair& b) { return a.second.seq < b.second.seq; });
+    comp_to_node[static_cast<size_t>(c)] = chain.nodes_.size();
+    chain.nodes_.push_back(std::move(node));
+  }
+  for (int a = 0; a < ncomp; ++a) {
+    for (int b : reduced[static_cast<size_t>(a)]) {
+      chain.edges_.emplace_back(comp_to_node[static_cast<size_t>(a)],
+                                comp_to_node[static_cast<size_t>(b)]);
+    }
+  }
+  return chain;
+}
+
+size_t CausalityChain::race_count() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) {
+    n += node.races.size();
+  }
+  return n;
+}
+
+bool CausalityChain::has_ambiguity() const {
+  for (const auto& node : nodes_) {
+    if (node.ambiguous) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CausalityChain::Render(const KernelImage& image) const {
+  if (nodes_.empty()) {
+    return std::string("<empty chain> --> ") + FailureTypeName(failure_.type);
+  }
+  std::vector<std::string> parts;
+  parts.reserve(nodes_.size() + 1);
+  for (const auto& node : nodes_) {
+    std::vector<std::string> labels;
+    labels.reserve(node.races.size());
+    for (const auto& race : node.races) {
+      labels.push_back("(" + RaceLabel(image, race) + ")");
+    }
+    std::string part = StrJoin(labels, " ^ ");
+    if (node.ambiguous) {
+      part += " [ambiguous]";
+    }
+    parts.push_back(part);
+  }
+  parts.push_back(FailureTypeName(failure_.type));
+  return StrJoin(parts, " --> ");
+}
+
+}  // namespace aitia

@@ -1,0 +1,384 @@
+#include "src/core/lifs.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/util/log.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+
+Lifs::Lifs(const KernelImage* image, std::vector<ThreadSpec> slice,
+           std::vector<ThreadSpec> setup, LifsOptions options)
+    : image_(image),
+      slice_(std::move(slice)),
+      setup_(std::move(setup)),
+      options_(options),
+      enforcer_(image) {}
+
+bool Lifs::MatchesTarget(const std::optional<Failure>& failure) const {
+  if (!failure.has_value()) {
+    return false;
+  }
+  if (options_.target.has_value()) {
+    return SameSymptom(*failure, *options_.target);
+  }
+  if (options_.target_type.has_value()) {
+    return failure->type == *options_.target_type;
+  }
+  // Watchdog timeouts are artifacts of enforcement, not kernel symptoms.
+  return failure->type != FailureType::kWatchdog;
+}
+
+void Lifs::Learn(const RunResult& run) {
+  std::map<ThreadId, int64_t> positions;
+  for (const ExecEvent& e : run.trace) {
+    int64_t pos = positions[e.di.tid]++;
+    if (!e.is_access) {
+      continue;
+    }
+    auto& known = knowledge_[e.di.tid];
+    bool seen = std::any_of(known.begin(), known.end(),
+                            [&](const KnownAccess& k) { return k.di == e.di; });
+    if (!seen) {
+      known.push_back({e.di, e.addr, e.len, e.is_write, pos});
+    }
+    if (std::find(known_tids_.begin(), known_tids_.end(), e.di.tid) == known_tids_.end()) {
+      known_tids_.push_back(e.di.tid);
+    }
+  }
+
+  // Keep complete per-thread streams from clean runs as phantom references.
+  if (!run.failure.has_value() && run.all_exited) {
+    std::map<ThreadId, std::vector<ExecEvent>> streams;
+    for (const ExecEvent& e : run.trace) {
+      streams[e.di.tid].push_back(e);
+    }
+    for (auto& [tid, stream] : streams) {
+      auto& ref = result_.reference_streams[tid];
+      if (stream.size() > ref.size()) {
+        ref = std::move(stream);
+      }
+    }
+  }
+}
+
+std::vector<Lifs::KnownAccess> Lifs::ConflictCandidates() const {
+  std::vector<KnownAccess> all;
+  for (const auto& [tid, accesses] : knowledge_) {
+    (void)tid;
+    all.insert(all.end(), accesses.begin(), accesses.end());
+  }
+  std::vector<KnownAccess> out;
+  for (const KnownAccess& a : all) {
+    if (!options_.dpor_pruning) {
+      out.push_back(a);
+      continue;
+    }
+    // DPOR-style restriction: preempting after `a` only creates a new order
+    // if some other thread conflicts on the same memory.
+    bool conflicts = std::any_of(all.begin(), all.end(), [&](const KnownAccess& b) {
+      if (b.di.tid == a.di.tid) {
+        return false;
+      }
+      const bool overlap = a.addr < b.addr + b.len && b.addr < a.addr + a.len;
+      return overlap && (a.write || b.write);
+    });
+    if (conflicts) {
+      out.push_back(a);
+    }
+  }
+  // Front-to-back: earliest-discovered instructions first.
+  std::sort(out.begin(), out.end(), [](const KnownAccess& x, const KnownAccess& y) {
+    if (x.first_pos != y.first_pos) {
+      return x.first_pos < y.first_pos;
+    }
+    return x.di < y.di;
+  });
+  return out;
+}
+
+bool Lifs::Execute(const PreemptionSchedule& schedule, int interleavings) {
+  if (result_.schedules_executed >= options_.max_schedules) {
+    return false;
+  }
+  if (!tried_schedules_.insert(schedule.ToString()).second) {
+    return false;  // exact schedule already run
+  }
+  EnforceResult er =
+      enforcer_.RunPreemption(slice_, schedule, setup_, options_.max_steps_per_run);
+  ++result_.schedules_executed;
+  Learn(er.run);
+
+  std::string fp;
+  for (const ExecEvent& e : er.run.trace) {
+    if (e.is_access) {
+      fp += StrFormat("%d.%d.%d.%d.%llu.%d;", e.di.tid, e.di.at.prog, e.di.at.pc,
+                      e.di.occurrence, static_cast<unsigned long long>(e.addr),
+                      e.is_write ? 1 : 0);
+    }
+  }
+  const bool fresh = fingerprints_.insert(fp).second;
+  const bool matched = MatchesTarget(er.run.failure);
+  if (options_.keep_explored) {
+    result_.explored.push_back(
+        {schedule, interleavings, er.run.failure.has_value(), matched, !fresh});
+  }
+  if (matched) {
+    FinalizeFailingRun(er.run, schedule, interleavings);
+    return true;
+  }
+  return false;
+}
+
+void Lifs::FinalizeFailingRun(const RunResult& run, const PreemptionSchedule& schedule,
+                              int interleavings) {
+  result_.reproduced = true;
+  result_.failure = run.failure;
+  result_.failing_run = run;
+  result_.failing_schedule = schedule;
+  result_.interleaving_count = interleavings;
+  result_.races = ExtractRaces(run);
+  for (size_t tid = 0; tid < run.threads.size(); ++tid) {
+    if (run.threads[tid].kind == ThreadKind::kHardIrq) {
+      result_.irq_threads[static_cast<ThreadId>(tid)] = {run.threads[tid].prog,
+                                                         run.threads[tid].arg};
+    }
+  }
+
+  // Phantom races (§3.4, Figure 6 step 1): conflicting pairs whose second
+  // side is an instruction the failure preempted. Reconstructed from the
+  // reference streams of clean runs whose control flow matches the executed
+  // prefix of the unfinished thread.
+  std::map<ThreadId, std::vector<ExecEvent>> executed;
+  for (const ExecEvent& e : run.trace) {
+    executed[e.di.tid].push_back(e);
+  }
+  int64_t phantom_seq = run.trace.empty() ? 1 : run.trace.back().seq + 1;
+  std::set<std::pair<DynInstr, DynInstr>> dedupe;
+  constexpr size_t kMaxPhantoms = 64;
+
+  for (const auto& [tid, ref] : result_.reference_streams) {
+    const auto& done = executed[tid];
+    if (done.size() >= ref.size()) {
+      continue;  // finished (or ref no longer ahead)
+    }
+    bool prefix_ok = true;
+    for (size_t i = 0; i < done.size(); ++i) {
+      if (!(done[i].di == ref[i].di)) {
+        prefix_ok = false;
+        break;
+      }
+    }
+    if (!prefix_ok) {
+      continue;  // the failing path diverged from the reference path
+    }
+    for (size_t i = done.size(); i < ref.size(); ++i) {
+      const ExecEvent& f = ref[i];
+      if (!f.is_access) {
+        continue;
+      }
+      for (const ExecEvent& e : run.trace) {
+        if (!e.is_access || e.di.tid == tid || !Conflicting(e, f)) {
+          continue;
+        }
+        if (!dedupe.insert({e.di, f.di}).second) {
+          continue;
+        }
+        RacePair p;
+        p.first = e;
+        p.second = f;
+        p.second.seq = phantom_seq++;
+        result_.phantom_races.push_back(p);
+        if (result_.phantom_races.size() >= kMaxPhantoms) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+LifsResult Lifs::Run() {
+  Stopwatch watch;
+  // Discover the concurrent thread ids (setup threads occupy lower ids).
+  std::vector<ThreadId> tids;
+  {
+    KernelSim probe(image_, slice_, setup_);
+    ThreadId first = probe.first_initial_thread();
+    for (size_t i = 0; i < slice_.size(); ++i) {
+      tids.push_back(first + static_cast<ThreadId>(i));
+    }
+  }
+  result_.slice_tids = tids;
+
+  std::vector<std::vector<ThreadId>> perms;
+  {
+    std::vector<ThreadId> perm = tids;
+    std::sort(perm.begin(), perm.end());
+    do {
+      perms.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+
+  // Interleaving count 0: sequential orders (also the discovery runs).
+  for (const auto& perm : perms) {
+    if (Execute({perm, {}}, 0)) {
+      result_.seconds = watch.ElapsedSeconds();
+      return result_;
+    }
+  }
+
+  // IRQ discovery (§4.6 extension): a handler's instructions are unknown
+  // until it runs once, but the conflict restriction needs them to propose
+  // injection points. Inject each line once at the first known access.
+  if (!options_.irq_lines.empty()) {
+    DynInstr first_access;
+    bool have_access = false;
+    for (const auto& [tid, accesses] : knowledge_) {
+      (void)tid;
+      for (const KnownAccess& a : accesses) {
+        if (!have_access || a.first_pos < 0) {
+          first_access = a.di;
+          have_access = true;
+          break;
+        }
+      }
+      if (have_access) {
+        break;
+      }
+    }
+    if (have_access) {
+      for (const IrqLine& line : options_.irq_lines) {
+        PreemptionSchedule schedule;
+        schedule.base_order = perms.front();
+        schedule.points = {{first_access, /*before=*/true, kNoThread, line.handler, line.arg}};
+        if (Execute(schedule, 1)) {
+          result_.seconds = watch.ElapsedSeconds();
+          return result_;
+        }
+      }
+    }
+  }
+
+  for (int k = 1; k <= options_.max_interleavings; ++k) {
+    // Knowledge can grow while exploring depth k (race-steered control
+    // flows); regenerate candidates until a full pass adds nothing new.
+    for (;;) {
+      if (result_.schedules_executed >= options_.max_schedules) {
+        result_.seconds = watch.ElapsedSeconds();
+        return result_;
+      }
+      std::vector<KnownAccess> candidates = ConflictCandidates();
+      size_t total_known = 0;
+      for (const auto& [tid, accesses] : knowledge_) {
+        (void)tid;
+        total_known += accesses.size();
+      }
+      if (options_.dpor_pruning && candidates.size() < total_known) {
+        // Preemptions at non-conflicting instructions are equivalent to not
+        // preempting at all — count them as pruned once per depth pass.
+        result_.schedules_pruned +=
+            static_cast<int64_t>((total_known - candidates.size()) * perms.size());
+      }
+
+      const size_t known_before = total_known;
+
+      // Enumerate k-point tuples front-to-back (candidate-major). Each
+      // candidate yields a stop-after and a stop-before variant (the latter
+      // is the hypervisor's breakpoint-hit semantics), plus, per configured
+      // IRQ line, inject-after and inject-before variants (§4.6 extension).
+      // Same-thread points must advance in program position.
+      const size_t stride = 2 + 2 * options_.irq_lines.size();
+      std::vector<size_t> tuple;  // encoded: idx * stride + variant
+      bool found = false;
+      bool exhausted = false;
+
+      auto decode_point = [&](size_t e) -> PreemptPoint {
+        PreemptPoint point;
+        point.after = candidates[e / stride].di;
+        const size_t variant = e % stride;
+        point.before = (variant % 2) != 0;
+        if (variant >= 2) {
+          const IrqLine& line = options_.irq_lines[(variant - 2) / 2];
+          point.inject_irq = line.handler;
+          point.irq_arg = line.arg;
+        }
+        return point;
+      };
+
+      auto run_tuple = [&](const std::vector<size_t>& encoded) -> bool {
+        std::vector<PreemptPoint> points;
+        points.reserve(encoded.size());
+        for (size_t e : encoded) {
+          points.push_back(decode_point(e));
+        }
+        for (const auto& perm : perms) {
+          if (result_.schedules_executed >= options_.max_schedules) {
+            exhausted = true;
+            return false;
+          }
+          if (Execute({perm, points}, k)) {
+            return true;
+          }
+        }
+        return false;
+      };
+
+      std::function<bool(size_t)> enumerate = [&](size_t depth) -> bool {
+        if (depth == static_cast<size_t>(k)) {
+          return run_tuple(tuple);
+        }
+        for (size_t e = 0; e < candidates.size() * stride; ++e) {
+          if (exhausted) {
+            return false;
+          }
+          const size_t i = e / stride;
+          if (!tuple.empty()) {
+            size_t prev = tuple.back() / stride;
+            if (i == prev) {
+              continue;  // cannot preempt twice at the same dynamic instr
+            }
+            if (candidates[i].di.tid == candidates[prev].di.tid &&
+                candidates[i].first_pos <= candidates[prev].first_pos) {
+              continue;  // same thread must advance front-to-back
+            }
+          }
+          tuple.push_back(e);
+          if (enumerate(depth + 1)) {
+            return true;
+          }
+          tuple.pop_back();
+        }
+        return false;
+      };
+
+      found = enumerate(0);
+      if (found) {
+        result_.seconds = watch.ElapsedSeconds();
+        return result_;
+      }
+      if (exhausted) {
+        result_.seconds = watch.ElapsedSeconds();
+        return result_;
+      }
+
+      size_t known_after = 0;
+      for (const auto& [tid, accesses] : knowledge_) {
+        (void)tid;
+        known_after += accesses.size();
+      }
+      if (known_after == known_before) {
+        break;  // no dynamic discovery at this depth; deepen
+      }
+    }
+  }
+
+  result_.seconds = watch.ElapsedSeconds();
+  return result_;
+}
+
+}  // namespace aitia

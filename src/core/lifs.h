@@ -1,0 +1,131 @@
+// Least Interleaving First Search (§3.3).
+//
+// LIFS reproduces a reported concurrency failure by exploring interleavings
+// of *conflicting* instructions, fewest-preemptions-first:
+//
+//   k = 0: every sequential order of the slice threads. These runs double as
+//          discovery: they populate the knowledge base of memory-accessing
+//          instructions per thread (the kcov-assisted disassembly of §4.3).
+//   k = 1, 2, ...: schedules with k preemption points. Candidate points are
+//          restricted to instructions whose address another thread is known
+//          to access conflictingly — the DPOR-inspired pruning — and are
+//          tried front-to-back. Knowledge grows across runs, so instructions
+//          revealed by race-steered control flows join the search space
+//          dynamically.
+//
+// The search stops at the first run whose failure matches the reported
+// symptom; its totally ordered trace is the failure-causing instruction
+// sequence handed to Causality Analysis, together with every data race found
+// in it (including "phantom" races against instructions the failure
+// preempted — e.g. the B17 => A12 race of Figure 6 where A12 never executed
+// in the failing run but is known from complete runs).
+
+#ifndef SRC_CORE_LIFS_H_
+#define SRC_CORE_LIFS_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/hv/enforcer.h"
+#include "src/sim/hb.h"
+#include "src/sim/kernel.h"
+
+namespace aitia {
+
+struct LifsOptions {
+  int max_interleavings = 3;
+  int64_t max_schedules = 20000;
+  // IRQ sources to consider during the search; empty disables injection.
+  std::vector<IrqLine> irq_lines;
+  // Disables the conflict-candidate restriction (ablation knob): every
+  // memory-accessing instruction becomes a preemption candidate.
+  bool dpor_pruning = true;
+  // The reported symptom; unset accepts any failure except the watchdog.
+  std::optional<Failure> target;
+  // Softer matcher: accept any failure of this type (used when only the
+  // crash-report class is known). Ignored when `target` is set.
+  std::optional<FailureType> target_type;
+  int64_t max_steps_per_run = 200000;
+  // Record every explored schedule (Figure 5 benchmarks).
+  bool keep_explored = false;
+};
+
+struct ExploredSchedule {
+  PreemptionSchedule schedule;
+  int interleavings = 0;
+  bool failed = false;
+  bool matched = false;
+  bool equivalent_to_earlier = false;  // fingerprint-identical outcome
+};
+
+struct LifsResult {
+  bool reproduced = false;
+  std::optional<Failure> failure;
+  RunResult failing_run;
+  // The schedule that reproduced the failure.
+  PreemptionSchedule failing_schedule;
+  // Data races in the failure-causing sequence.
+  RaceAnalysis races;
+  // Races whose second side is a known-but-unexecuted instruction (the
+  // failure stopped its thread first). `second.seq` is synthetic, past the
+  // end of the trace.
+  std::vector<RacePair> phantom_races;
+  // Complete per-thread instruction streams from non-failing runs; Causality
+  // Analysis splices these when flipping phantom races.
+  std::map<ThreadId, std::vector<ExecEvent>> reference_streams;
+  // Hardware-IRQ contexts present in the failing run (thread id -> handler
+  // program and argument) for replay during the diagnosing stage.
+  std::map<ThreadId, std::pair<ProgramId, Word>> irq_threads;
+
+  int interleaving_count = 0;
+  int64_t schedules_executed = 0;
+  int64_t schedules_pruned = 0;  // skipped as equivalent before running
+  double seconds = 0;
+  std::vector<ThreadId> slice_tids;
+  std::vector<ExploredSchedule> explored;  // populated iff keep_explored
+};
+
+class Lifs {
+ public:
+  Lifs(const KernelImage* image, std::vector<ThreadSpec> slice, std::vector<ThreadSpec> setup,
+       LifsOptions options);
+
+  LifsResult Run();
+
+ private:
+  struct KnownAccess {
+    DynInstr di;
+    Addr addr = 0;
+    Addr len = 1;
+    bool write = false;
+    int64_t first_pos = 0;  // discovery position within its thread
+  };
+
+  bool MatchesTarget(const std::optional<Failure>& failure) const;
+  // Runs one schedule, updates knowledge; returns true if the failure was
+  // reproduced (result_ is then final).
+  bool Execute(const PreemptionSchedule& schedule, int interleavings);
+  void Learn(const RunResult& run);
+  std::vector<KnownAccess> ConflictCandidates() const;
+  void FinalizeFailingRun(const RunResult& run, const PreemptionSchedule& schedule,
+                          int interleavings);
+
+  const KernelImage* image_;
+  std::vector<ThreadSpec> slice_;
+  std::vector<ThreadSpec> setup_;
+  LifsOptions options_;
+  Enforcer enforcer_;
+
+  std::map<ThreadId, std::vector<KnownAccess>> knowledge_;
+  std::vector<ThreadId> known_tids_;
+  std::set<std::string> fingerprints_;
+  std::set<std::string> tried_schedules_;
+  LifsResult result_;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_CORE_LIFS_H_

@@ -1,0 +1,35 @@
+// Machine-readable diagnosis reports.
+//
+// AitiaReport::Render (aitia.h) is the human-facing text; ReportToJson emits
+// the same content as a stable JSON document for tooling (dashboards, CI
+// annotations, regression diffing of causality chains).
+
+#ifndef SRC_CORE_REPORT_H_
+#define SRC_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/core/aitia.h"
+
+namespace aitia {
+
+// Serializes a diagnosis to JSON. Shape:
+//
+// {
+//   "diagnosed": true,
+//   "failure": {"type": "...", "thread": 1, "prog": 2, "pc": 7, "message": "..."},
+//   "lifs": {"interleavings": 2, "schedules": 472, "seconds": 0.02},
+//   "causality": {"schedules": 5, "benign": 3, "ambiguous": false},
+//   "races": [{"label": "A6 => B12", "verdict": "root-cause",
+//              "phantom": false, "critical_section": false}, ...],
+//   "chain": {"rendered": "...", "nodes": [{"races": ["..."],
+//             "ambiguous": false}, ...], "edges": [[0, 1], ...]}
+// }
+std::string ReportToJson(const AitiaReport& report, const KernelImage& image);
+
+// JSON string escaping (exposed for tests).
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace aitia
+
+#endif  // SRC_CORE_REPORT_H_

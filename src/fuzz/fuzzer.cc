@@ -1,0 +1,121 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <map>
+
+namespace aitia {
+
+ExecutionHistory BuildHistory(const FuzzWorkload& workload, const RunResult& run,
+                              ThreadId first_initial_tid) {
+  ExecutionHistory history;
+
+  // Setup syscalls completed before the concurrent section; give them
+  // negative timestamps so every concurrent event orders after them.
+  int64_t setup_ts = -2 * static_cast<int64_t>(workload.setup.size()) - 2;
+  for (size_t i = 0; i < workload.setup.size(); ++i) {
+    const ThreadSpec& spec = workload.setup[i];
+    HistoryEntry enter;
+    enter.timestamp = setup_ts++;
+    enter.kind = HistoryKind::kSyscallEnter;
+    enter.task = static_cast<int32_t>(i);
+    enter.name = spec.name;
+    enter.prog = spec.prog;
+    enter.arg = spec.arg;
+    enter.thread_kind = spec.kind;
+    enter.resource = i < workload.setup_resources.size() ? workload.setup_resources[i] : "";
+    history.entries.push_back(enter);
+    HistoryEntry exit = enter;
+    exit.timestamp = setup_ts++;
+    exit.kind = HistoryKind::kSyscallExit;
+    history.entries.push_back(exit);
+  }
+
+  // Per-thread first/last event seq.
+  std::map<ThreadId, int64_t> first_seq;
+  std::map<ThreadId, int64_t> last_seq;
+  for (const ExecEvent& e : run.trace) {
+    if (first_seq.find(e.di.tid) == first_seq.end()) {
+      first_seq[e.di.tid] = e.seq;
+    }
+    last_seq[e.di.tid] = e.seq;
+  }
+  std::map<ThreadId, const SpawnEdge*> spawn_of;
+  for (const SpawnEdge& edge : run.spawns) {
+    spawn_of[edge.child] = &edge;
+  }
+
+  const ThreadId nthreads = static_cast<ThreadId>(run.threads.size());
+  for (ThreadId tid = first_initial_tid; tid < nthreads; ++tid) {
+    const RunResult::ThreadInfo& info = run.threads[static_cast<size_t>(tid)];
+    const size_t workload_index = static_cast<size_t>(tid - first_initial_tid);
+    const bool is_initial = workload_index < workload.threads.size();
+
+    HistoryEntry enter;
+    enter.task = tid;
+    enter.name = info.name;
+    enter.prog = info.prog;
+    enter.thread_kind = info.kind;
+    if (is_initial) {
+      enter.kind = HistoryKind::kSyscallEnter;
+      enter.arg = workload.threads[workload_index].arg;
+      enter.resource = workload_index < workload.resources.size()
+                           ? workload.resources[workload_index]
+                           : "";
+      auto it = first_seq.find(tid);
+      enter.timestamp = it != first_seq.end() ? it->second : 0;
+    } else {
+      enter.kind = HistoryKind::kBgInvoke;
+      auto it = spawn_of.find(tid);
+      if (it != spawn_of.end()) {
+        enter.timestamp = it->second->seq;
+        enter.source_task = it->second->parent;
+        enter.arg = it->second->arg;
+      }
+    }
+    history.entries.push_back(enter);
+
+    // Emit an exit only for threads that actually finished; unfinished
+    // intervals stay open (they overlap the failure).
+    const bool failed_here =
+        run.failure.has_value() && run.failure->tid == tid;
+    auto last_it = last_seq.find(tid);
+    if (last_it != last_seq.end() && !failed_here && run.all_exited) {
+      HistoryEntry exit = enter;
+      exit.kind = HistoryKind::kSyscallExit;
+      exit.timestamp = last_it->second;
+      history.entries.push_back(exit);
+    }
+  }
+
+  if (run.failure.has_value()) {
+    FailureInfo info;
+    info.failure = *run.failure;
+    info.timestamp = run.failure->seq >= 0
+                         ? run.failure->seq
+                         : (run.trace.empty() ? 0 : run.trace.back().seq);
+    info.task = run.failure->tid;
+    history.failure = info;
+  }
+  return history;
+}
+
+FuzzOutcome FuzzUntilFailure(const FuzzWorkload& workload, const FuzzOptions& options) {
+  FuzzOutcome outcome;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    const uint64_t seed = options.first_seed + static_cast<uint64_t>(attempt);
+    KernelSim kernel(workload.image, workload.threads, workload.setup);
+    const ThreadId first_initial = kernel.first_initial_thread();
+    RandomPolicy policy(seed, options.switch_num, options.switch_den);
+    RunResult run = RunToCompletion(kernel, policy, options.run);
+    outcome.attempts = attempt + 1;
+    if (run.failure.has_value()) {
+      outcome.found = true;
+      outcome.seed = seed;
+      outcome.history = BuildHistory(workload, run, first_initial);
+      outcome.run = std::move(run);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace aitia

@@ -1,0 +1,57 @@
+// The bug-finding front end — a Syzkaller stand-in (§4.1, DESIGN.md §2).
+//
+// The fuzzer runs a scenario workload under a random-preemption scheduler
+// until a failure manifests, then emits what the paper's pipeline consumes:
+// a timestamped execution history (syscall enter/exit, background-thread
+// invocations with their source) plus the failure information a coredump
+// would carry.
+
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/policy.h"
+#include "src/trace/history.h"
+
+namespace aitia {
+
+struct FuzzWorkload {
+  const KernelImage* image = nullptr;
+  // Concurrent tasks the fuzzer drives (the failing group plus noise).
+  std::vector<ThreadSpec> threads;
+  // Per-thread resource tags (parallel to `threads`; empty string = none).
+  std::vector<std::string> resources;
+  // Sequential prologue (e.g. the open() that creates a shared fd).
+  std::vector<ThreadSpec> setup;
+  std::vector<std::string> setup_resources;
+};
+
+struct FuzzOptions {
+  uint64_t first_seed = 1;
+  int max_attempts = 2000;
+  uint64_t switch_num = 1;
+  uint64_t switch_den = 3;
+  RunOptions run;
+};
+
+struct FuzzOutcome {
+  bool found = false;
+  uint64_t seed = 0;
+  int attempts = 0;
+  ExecutionHistory history;
+  RunResult run;
+};
+
+// Replays the workload with fresh seeds until some run fails; builds the
+// execution history of the failing run.
+FuzzOutcome FuzzUntilFailure(const FuzzWorkload& workload, const FuzzOptions& options = {});
+
+// Builds the timestamped history for one completed run (exposed for tests).
+ExecutionHistory BuildHistory(const FuzzWorkload& workload, const RunResult& run,
+                              ThreadId first_initial_tid);
+
+}  // namespace aitia
+
+#endif  // SRC_FUZZ_FUZZER_H_

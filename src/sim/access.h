@@ -1,0 +1,59 @@
+// Execution trace records.
+//
+// Every retired instruction produces one ExecEvent; the totally ordered
+// vector of events *is* the "instruction sequence" LIFS outputs and Causality
+// Analysis flips (§3.3-3.4). Memory-accessing events carry the accessed
+// address range; kfree covers the whole object so that frees conflict with
+// accesses to any interior cell (that is what makes use-after-free pairs show
+// up as data races).
+
+#ifndef SRC_SIM_ACCESS_H_
+#define SRC_SIM_ACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/instr.h"
+#include "src/sim/types.h"
+
+namespace aitia {
+
+struct ExecEvent {
+  int64_t seq = -1;
+  DynInstr di;
+  Op op = Op::kNop;
+
+  // Memory access payload (valid when is_access).
+  bool is_access = false;
+  bool is_write = false;
+  Addr addr = 0;
+  Addr len = 0;  // cells covered; 1 for plain accesses, object size for free
+  Word value = 0;
+
+  // Locks held while executing (tiny vectors; copied per event).
+  std::vector<Addr> locks_held;
+};
+
+// True if the two events touch an overlapping address range with at least
+// one write — the Linux-kernel-memory-model notion of conflicting accesses
+// the paper adopts (§2).
+inline bool Conflicting(const ExecEvent& a, const ExecEvent& b) {
+  if (!a.is_access || !b.is_access) {
+    return false;
+  }
+  if (!a.is_write && !b.is_write) {
+    return false;
+  }
+  return a.addr < b.addr + b.len && b.addr < a.addr + a.len;
+}
+
+struct SpawnEdge {
+  int64_t seq = -1;  // event sequence of the queue_work / call_rcu
+  ThreadId parent = kNoThread;
+  ThreadId child = kNoThread;
+  Word arg = 0;  // r0 handed to the spawned context
+};
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_ACCESS_H_

@@ -1,0 +1,104 @@
+// Fluent assembler for scenario programs.
+//
+// Scenarios read like annotated kernel pseudo-code:
+//
+//   ProgramBuilder b("packet_do_bind");
+//   b.Lea(R1, po_fanout)
+//    .Load(R2, R1).Note("B2: if (po->fanout)")
+//    .Bnez(R2, "out")
+//    ...
+//    .Label("out").Exit();
+//   image.AddProgram(b.Build());
+//
+// Labels may be referenced before they are defined; Build() patches branch
+// targets and aborts on undefined labels.
+
+#ifndef SRC_SIM_BUILDER_H_
+#define SRC_SIM_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/program.h"
+
+namespace aitia {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // --- control over annotations -------------------------------------------
+  // Attaches a note to the most recently emitted instruction.
+  ProgramBuilder& Note(const std::string& note);
+
+  // --- labels ---------------------------------------------------------------
+  ProgramBuilder& Label(const std::string& name);
+
+  // --- data movement ---------------------------------------------------------
+  ProgramBuilder& MovImm(Reg rd, Word imm);
+  ProgramBuilder& Mov(Reg rd, Reg rs);
+  ProgramBuilder& AddImm(Reg rd, Reg rs, Word imm);
+  ProgramBuilder& Add(Reg rd, Reg rs, Reg rt);
+  ProgramBuilder& Sub(Reg rd, Reg rs, Reg rt);
+  ProgramBuilder& Lea(Reg rd, Addr global);
+
+  // --- shared memory ----------------------------------------------------------
+  ProgramBuilder& Load(Reg rd, Reg rs, Word off = 0);
+  ProgramBuilder& Store(Reg rd_base, Reg rs_value, Word off = 0);
+  ProgramBuilder& StoreImm(Reg rd_base, Word value, Word off = 0);
+
+  // --- control flow -----------------------------------------------------------
+  ProgramBuilder& Beqz(Reg rs, const std::string& label);
+  ProgramBuilder& Bnez(Reg rs, const std::string& label);
+  ProgramBuilder& Beq(Reg rs, Reg rt, const std::string& label);
+  ProgramBuilder& Bne(Reg rs, Reg rt, const std::string& label);
+  ProgramBuilder& Jmp(const std::string& label);
+  ProgramBuilder& Call(const std::string& label);
+  ProgramBuilder& Ret();
+  ProgramBuilder& Exit();
+
+  // --- kernel services ---------------------------------------------------------
+  ProgramBuilder& Alloc(Reg rd, Word cells, bool leak_checked = false);
+  ProgramBuilder& Free(Reg rs);
+  ProgramBuilder& Lock(Reg rs, Word off = 0);
+  ProgramBuilder& Unlock(Reg rs, Word off = 0);
+  ProgramBuilder& BugOn(Reg rs_must_be_nonzero);   // BUG_ON(rs == 0)
+  ProgramBuilder& WarnOn(Reg rs_must_be_nonzero);  // WARN_ON(rs == 0)
+  ProgramBuilder& Nop();
+  ProgramBuilder& Resched();
+  ProgramBuilder& TlbFlush();
+  // Spawn program `worker` (by name, resolved at Build via the image) isn't
+  // possible without the image; spawn takes a ProgramId directly.
+  ProgramBuilder& QueueWork(ProgramId worker, Reg rs_arg);
+  ProgramBuilder& CallRcu(ProgramId callback, Reg rs_arg);
+
+  // --- intrinsic data structures -------------------------------------------------
+  ProgramBuilder& ListAdd(Reg rs_head, Reg rt_value, Word off = 0);
+  ProgramBuilder& ListDel(Reg rd_removed, Reg rs_head, Reg rt_value, Word off = 0);
+  ProgramBuilder& ListContains(Reg rd, Reg rs_head, Reg rt_value, Word off = 0);
+  ProgramBuilder& ListPop(Reg rd, Reg rs_head, Word off = 0);
+  ProgramBuilder& ListLen(Reg rd, Reg rs_head, Word off = 0);
+  ProgramBuilder& RefGet(Reg rs_base, Word off = 0);
+  ProgramBuilder& RefPut(Reg rd_hit_zero, Reg rs_base, Word off = 0);
+
+  // The pc the next emitted instruction will occupy (useful for tests).
+  Pc NextPc() const { return static_cast<Pc>(code_.size()); }
+
+  // Finalizes the program: patches labels and aborts on dangling references.
+  Program Build();
+
+ private:
+  Instr& Emit(Instr instr);
+  ProgramBuilder& Branch(Op op, Reg rs, Reg rt, const std::string& label);
+
+  std::string name_;
+  std::vector<Instr> code_;
+  std::map<std::string, Pc> labels_;
+  // Unresolved label uses: instruction index -> label name.
+  std::vector<std::pair<size_t, std::string>> fixups_;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_BUILDER_H_

@@ -1,0 +1,64 @@
+#include "src/sim/failure.h"
+
+#include "src/util/strings.h"
+
+namespace aitia {
+
+const char* FailureTypeName(FailureType type) {
+  switch (type) {
+    case FailureType::kNone: return "none";
+    case FailureType::kNullDeref: return "null-ptr-deref";
+    case FailureType::kGeneralProtection: return "general protection fault";
+    case FailureType::kUseAfterFreeRead: return "KASAN: use-after-free Read";
+    case FailureType::kUseAfterFreeWrite: return "KASAN: use-after-free Write";
+    case FailureType::kOutOfBounds: return "KASAN: slab-out-of-bounds";
+    case FailureType::kDoubleFree: return "double-free";
+    case FailureType::kBadFree: return "invalid-free";
+    case FailureType::kAssertViolation: return "kernel BUG (BUG_ON)";
+    case FailureType::kWarning: return "WARNING (WARN_ON)";
+    case FailureType::kRefcountWarning: return "WARNING: refcount bug";
+    case FailureType::kMemoryLeak: return "memory leak";
+    case FailureType::kDeadlock: return "deadlock";
+    case FailureType::kWatchdog: return "watchdog: hung task";
+  }
+  return "?";
+}
+
+std::string Failure::ToString() const {
+  std::string text = FailureTypeName(type);
+  if (tid != kNoThread) {
+    text += StrFormat(" in thread %d at prog %d pc %d", tid, at.prog, at.pc);
+  }
+  if (addr != 0) {
+    text += StrFormat(" addr 0x%llx", static_cast<unsigned long long>(addr));
+  }
+  if (!message.empty()) {
+    text += " (" + message + ")";
+  }
+  return text;
+}
+
+bool SameSymptom(const Failure& a, const Failure& b) {
+  if (a.type != b.type) {
+    return false;
+  }
+  // Whole-run symptoms are not tied to one faulting instruction (a leak's
+  // attribution points at whichever allocation happened to be lost).
+  if (a.type == FailureType::kMemoryLeak || a.type == FailureType::kDeadlock ||
+      a.type == FailureType::kWatchdog) {
+    return true;
+  }
+  return a.at == b.at;
+}
+
+bool SameSymptom(const std::optional<Failure>& a, const std::optional<Failure>& b) {
+  if (a.has_value() != b.has_value()) {
+    return false;
+  }
+  if (!a.has_value()) {
+    return true;
+  }
+  return SameSymptom(*a, *b);
+}
+
+}  // namespace aitia

@@ -1,0 +1,60 @@
+// Failure taxonomy of the simulated kernel.
+//
+// Mirrors the failure classes of the paper's bug tables: KASAN
+// use-after-free / slab-out-of-bounds, general protection faults, NULL
+// dereferences, BUG_ON/WARN assertion violations, refcount warnings, memory
+// leaks, and scheduler-observed hangs.
+
+#ifndef SRC_SIM_FAILURE_H_
+#define SRC_SIM_FAILURE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/sim/types.h"
+
+namespace aitia {
+
+enum class FailureType {
+  kNone,
+  kNullDeref,          // access inside the null page
+  kGeneralProtection,  // access to an unmapped address (wild pointer)
+  kUseAfterFreeRead,   // KASAN: read of freed (quarantined) memory
+  kUseAfterFreeWrite,  // KASAN: write of freed (quarantined) memory
+  kOutOfBounds,        // KASAN: redzone access (slab out-of-bounds)
+  kDoubleFree,         // kfree of an already-freed object
+  kBadFree,            // kfree of a non-object pointer
+  kAssertViolation,    // BUG_ON fired
+  kWarning,            // WARN_ON fired
+  kRefcountWarning,    // refcount inc-from-zero or underflow
+  kMemoryLeak,         // leak-checked object still live at clean exit
+  kDeadlock,           // every unfinished thread blocked on a lock
+  kWatchdog,           // step budget exhausted (hung task)
+};
+
+const char* FailureTypeName(FailureType type);
+
+struct Failure {
+  FailureType type = FailureType::kNone;
+  // The faulting thread and instruction (the "failure point").
+  ThreadId tid = kNoThread;
+  InstrAddr at;
+  // Faulting address for memory failures; 0 otherwise.
+  Addr addr = 0;
+  // Sequence number of the faulting event in the run trace (-1 if the
+  // failure is not tied to one instruction, e.g. leak / deadlock).
+  int64_t seq = -1;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Two failures count as "the same symptom" if type and failure point match —
+// the criterion LIFS uses to decide it reproduced *the reported* failure and
+// the criterion Causality Analysis uses for "still fails".
+bool SameSymptom(const Failure& a, const Failure& b);
+bool SameSymptom(const std::optional<Failure>& a, const std::optional<Failure>& b);
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_FAILURE_H_

@@ -1,0 +1,184 @@
+#include "src/sim/hb.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace aitia {
+namespace {
+
+std::vector<int64_t> Join(const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
+  std::vector<int64_t> out(std::max(a.size(), b.size()), -1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    int64_t va = i < a.size() ? a[i] : -1;
+    int64_t vb = i < b.size() ? b[i] : -1;
+    out[i] = std::max(va, vb);
+  }
+  return out;
+}
+
+}  // namespace
+
+HbRelation::HbRelation(const RunResult& result) {
+  const size_t nthreads = result.threads.size();
+  std::vector<std::vector<int64_t>> thread_clock(nthreads,
+                                                 std::vector<int64_t>(nthreads, -1));
+  // Lock release clocks and pending spawn clocks.
+  std::map<Addr, std::vector<int64_t>> lock_clock;
+  std::map<ThreadId, std::vector<int64_t>> spawn_clock;
+  std::vector<bool> started(nthreads, false);
+
+  clocks_.resize(result.trace.size());
+  event_tid_.resize(result.trace.size());
+
+  // Map spawn seq -> child for quick lookup.
+  std::map<int64_t, ThreadId> spawn_at_seq;
+  for (const SpawnEdge& edge : result.spawns) {
+    spawn_at_seq[edge.seq] = edge.child;
+  }
+
+  for (const ExecEvent& e : result.trace) {
+    const auto tid = static_cast<size_t>(e.di.tid);
+    auto& clock = thread_clock[tid];
+    if (!started[tid]) {
+      started[tid] = true;
+      auto it = spawn_clock.find(e.di.tid);
+      if (it != spawn_clock.end()) {
+        clock = Join(clock, it->second);
+      }
+    }
+    if (e.op == Op::kLock) {
+      auto it = lock_clock.find(e.addr);
+      if (it != lock_clock.end()) {
+        clock = Join(clock, it->second);
+      }
+    }
+    clock[tid] = e.seq;
+    clocks_[static_cast<size_t>(e.seq)] = clock;
+    event_tid_[static_cast<size_t>(e.seq)] = e.di.tid;
+
+    if (e.op == Op::kUnlock) {
+      lock_clock[e.addr] = clock;
+    }
+    if (e.op == Op::kQueueWork || e.op == Op::kCallRcu) {
+      auto it = spawn_at_seq.find(e.seq);
+      if (it != spawn_at_seq.end()) {
+        spawn_clock[it->second] = clock;
+      }
+    }
+  }
+}
+
+bool HbRelation::HappensBefore(int64_t seq_a, int64_t seq_b) const {
+  if (seq_a >= seq_b) {
+    return false;
+  }
+  const ThreadId tid_a = event_tid_[static_cast<size_t>(seq_a)];
+  return clocks_[static_cast<size_t>(seq_b)][static_cast<size_t>(tid_a)] >= seq_a;
+}
+
+RaceAnalysis ExtractRaces(const RunResult& result) {
+  RaceAnalysis out;
+  HbRelation hb(result);
+
+  // Critical-section spans: for every access event, per held lock, the
+  // [acquire seq, release seq] span of the enclosing critical section.
+  std::vector<std::map<Addr, std::pair<int64_t, int64_t>>> event_spans(result.trace.size());
+  std::map<std::pair<ThreadId, Addr>, int64_t> open_begin;
+  std::map<std::pair<ThreadId, Addr>, std::vector<size_t>> open_access_events;
+  for (const ExecEvent& e : result.trace) {
+    if (e.op == Op::kLock) {
+      open_begin[{e.di.tid, e.addr}] = e.seq;
+      open_access_events[{e.di.tid, e.addr}].clear();
+    } else if (e.op == Op::kUnlock) {
+      auto key = std::make_pair(e.di.tid, e.addr);
+      auto it = open_begin.find(key);
+      if (it != open_begin.end()) {
+        for (size_t idx : open_access_events[key]) {
+          event_spans[idx][e.addr] = {it->second, e.seq};
+        }
+        open_begin.erase(it);
+        open_access_events.erase(key);
+      }
+    } else if (e.is_access) {
+      for (Addr l : e.locks_held) {
+        open_access_events[{e.di.tid, l}].push_back(static_cast<size_t>(e.seq));
+      }
+    }
+  }
+  // Sections never released (thread exited holding the lock): close at end.
+  const int64_t last_seq =
+      result.trace.empty() ? 0 : result.trace.back().seq;
+  for (auto& [key, events] : open_access_events) {
+    auto it = open_begin.find(key);
+    if (it == open_begin.end()) {
+      continue;
+    }
+    for (size_t idx : events) {
+      event_spans[idx][key.second] = {it->second, last_seq};
+    }
+  }
+
+  std::set<std::tuple<int64_t, int64_t, Addr>> cs_seen;
+
+  const auto& trace = result.trace;
+  for (size_t j = 0; j < trace.size(); ++j) {
+    const ExecEvent& b = trace[j];
+    if (!b.is_access) {
+      continue;
+    }
+    for (size_t i = 0; i < j; ++i) {
+      const ExecEvent& a = trace[i];
+      if (!a.is_access || a.di.tid == b.di.tid || !Conflicting(a, b)) {
+        continue;
+      }
+      ++out.conflicting_pairs_total;
+
+      // Common lock => critical-section pair.
+      Addr common_lock = 0;
+      for (Addr l : a.locks_held) {
+        if (std::find(b.locks_held.begin(), b.locks_held.end(), l) != b.locks_held.end()) {
+          common_lock = l;
+          break;
+        }
+      }
+      if (common_lock != 0) {
+        auto sa = event_spans[i].find(common_lock);
+        auto sb = event_spans[j].find(common_lock);
+        if (sa != event_spans[i].end() && sb != event_spans[j].end()) {
+          auto sig = std::make_tuple(sa->second.first, sb->second.first, common_lock);
+          if (cs_seen.insert(sig).second) {
+            RacePair p;
+            p.first = a;
+            p.second = b;
+            p.cs_pair = true;
+            p.lock = common_lock;
+            p.first_cs_begin = sa->second.first;
+            p.first_cs_end = sa->second.second;
+            p.second_cs_begin = sb->second.first;
+            p.second_cs_end = sb->second.second;
+            out.cs_pairs.push_back(p);
+          }
+        }
+        continue;
+      }
+
+      if (hb.HappensBefore(a.seq, b.seq)) {
+        continue;  // ordered by spawn or lock hand-off: not a race
+      }
+      RacePair p;
+      p.first = a;
+      p.second = b;
+      out.races.push_back(p);
+    }
+  }
+
+  auto by_second = [](const RacePair& x, const RacePair& y) {
+    return x.second.seq < y.second.seq;
+  };
+  std::sort(out.races.begin(), out.races.end(), by_second);
+  std::sort(out.cs_pairs.begin(), out.cs_pairs.end(), by_second);
+  return out;
+}
+
+}  // namespace aitia

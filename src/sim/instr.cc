@@ -1,0 +1,93 @@
+#include "src/sim/instr.h"
+
+#include "src/util/strings.h"
+
+namespace aitia {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kResched: return "resched";
+    case Op::kTlbFlush: return "tlb_flush";
+    case Op::kMovImm: return "movi";
+    case Op::kMov: return "mov";
+    case Op::kAddImm: return "addi";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kLea: return "lea";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kStoreImm: return "storei";
+    case Op::kBeqz: return "beqz";
+    case Op::kBnez: return "bnez";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kJmp: return "jmp";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kExit: return "exit";
+    case Op::kAlloc: return "alloc";
+    case Op::kFree: return "free";
+    case Op::kLock: return "lock";
+    case Op::kUnlock: return "unlock";
+    case Op::kAssert: return "assert";
+    case Op::kQueueWork: return "queue_work";
+    case Op::kCallRcu: return "call_rcu";
+    case Op::kListAdd: return "list_add";
+    case Op::kListDel: return "list_del";
+    case Op::kListContains: return "list_contains";
+    case Op::kListPop: return "list_pop";
+    case Op::kListLen: return "list_len";
+    case Op::kRefGet: return "ref_get";
+    case Op::kRefPut: return "ref_put";
+  }
+  return "?";
+}
+
+bool IsMemoryAccess(Op op) {
+  switch (op) {
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kStoreImm:
+    case Op::kFree:  // conflicts with any access to the freed object
+    case Op::kListAdd:
+    case Op::kListDel:
+    case Op::kListContains:
+    case Op::kListPop:
+    case Op::kListLen:
+    case Op::kRefGet:
+    case Op::kRefPut:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsWriteAccess(Op op) {
+  switch (op) {
+    case Op::kStore:
+    case Op::kStoreImm:
+    case Op::kFree:
+    case Op::kListAdd:
+    case Op::kListDel:
+    case Op::kListPop:
+    case Op::kRefGet:
+    case Op::kRefPut:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Disassemble(const Instr& instr) {
+  std::string text = StrFormat("%-13s rd=r%-2d rs=r%-2d rt=r%-2d imm=%lld imm2=%lld",
+                               OpName(instr.op), instr.rd, instr.rs, instr.rt,
+                               static_cast<long long>(instr.imm),
+                               static_cast<long long>(instr.imm2));
+  if (!instr.note.empty()) {
+    text += "   ; " + instr.note;
+  }
+  return text;
+}
+
+}  // namespace aitia

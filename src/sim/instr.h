@@ -1,0 +1,87 @@
+// The instruction set of the simulated kernel.
+//
+// Scenarios (src/bugs) are written against a tiny register machine so that
+// every instruction has a stable code address the diagnosis layers can key
+// breakpoints, watchpoints, and schedules on — exactly the control surface the
+// AITIA hypervisor gets from hardware breakpoints on a real kernel (§4.3-4.4).
+
+#ifndef SRC_SIM_INSTR_H_
+#define SRC_SIM_INSTR_H_
+
+#include <string>
+
+#include "src/sim/types.h"
+
+namespace aitia {
+
+enum class Op : uint8_t {
+  kNop,
+  kResched,    // cond_resched() marker — a quiescent / preemption point
+  kTlbFlush,   // TLB shootdown: IPI broadcast; completes once every other
+               // unfinished context acknowledged (parked threads ack from
+               // the trampoline — the §4.4 responsiveness property)
+  kMovImm,     // rd = imm
+  kMov,        // rd = rs
+  kAddImm,     // rd = rs + imm
+  kAdd,        // rd = rs + rt
+  kSub,        // rd = rs - rt
+  kLea,        // rd = imm (a global's address); marks intent, no memory access
+  kLoad,       // rd = mem[rs + imm]                      (shared-memory read)
+  kStore,      // mem[rd + imm] = rs                      (shared-memory write)
+  kStoreImm,   // mem[rd + imm] = imm2                    (shared-memory write)
+  kBeqz,       // if (rs == 0) goto imm
+  kBnez,       // if (rs != 0) goto imm
+  kBeq,        // if (rs == rt) goto imm
+  kBne,        // if (rs != rt) goto imm
+  kJmp,        // goto imm
+  kCall,       // call imm (pushes return pc)
+  kRet,        // return (pops); at depth 0 behaves like kExit
+  kExit,       // thread finishes (syscall returns)
+  kAlloc,      // rd = kmalloc(imm cells); imm2 != 0 => leak-checked object
+  kFree,       // kfree(rs)
+  kLock,       // spin_lock(mem cell rs + imm); blocks while held elsewhere
+  kUnlock,     // spin_unlock(mem cell rs + imm)
+  kAssert,     // BUG_ON-style: fail if rs == 0; imm2 != 0 => WARN severity
+  kQueueWork,  // queue_work: spawn a kworker thread running program imm,
+               // with r0 = rs
+  kCallRcu,    // call_rcu: spawn an RCU-callback thread running program imm,
+               // with r0 = rs
+  kListAdd,    // list_add(list head at rs + imm, value rt)      (write)
+  kListDel,    // list_del(list head at rs + imm, value rt);
+               // rd = 1 if removed, 0 if absent                 (write)
+  kListContains,  // rd = list head at rs + imm contains rt ? 1 : 0   (read)
+  kListPop,    // rd = pop_front(list head at rs + imm), 0 if empty (write)
+  kListLen,    // rd = length(list head at rs + imm)             (read)
+  kRefGet,     // refcount_inc(mem[rs + imm]); WARN if it was <= 0
+  kRefPut,     // refcount_dec(mem[rs + imm]); rd = 1 if it hit 0;
+               // WARN if it was <= 0
+};
+
+const char* OpName(Op op);
+
+// True if the op reads or writes scenario-visible shared memory (and thus
+// participates in conflict/data-race detection).
+bool IsMemoryAccess(Op op);
+
+// True if the memory access writes (list mutations count as writes).
+bool IsWriteAccess(Op op);
+
+struct Instr {
+  Op op = Op::kNop;
+  uint8_t rd = 0;
+  uint8_t rs = 0;
+  uint8_t rt = 0;
+  Word imm = 0;
+  Word imm2 = 0;
+  // Human-readable annotation, e.g. "A6: po->fanout = match". Flows into
+  // race reports and causality chains, playing the role of the paper's
+  // "line numbers in the kernel" (§4.1).
+  std::string note;
+};
+
+// Disassembles one instruction (for reports and debugging).
+std::string Disassemble(const Instr& instr);
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_INSTR_H_

@@ -1,0 +1,103 @@
+#include "src/sim/policy.h"
+
+#include <algorithm>
+
+namespace aitia {
+
+ThreadId SeqPolicy::Pick(const KernelSim& kernel, const std::vector<ThreadId>& runnable) {
+  (void)kernel;
+  // Position in the base order; spawned threads order after all base threads
+  // by their (monotonically increasing) ids.
+  auto rank = [this](ThreadId tid) -> int64_t {
+    for (size_t i = 0; i < order_.size(); ++i) {
+      if (order_[i] == tid) {
+        return static_cast<int64_t>(i);
+      }
+    }
+    return static_cast<int64_t>(order_.size()) + tid;
+  };
+  return *std::min_element(runnable.begin(), runnable.end(),
+                           [&](ThreadId a, ThreadId b) { return rank(a) < rank(b); });
+}
+
+ThreadId RandomPolicy::Pick(const KernelSim& kernel, const std::vector<ThreadId>& runnable) {
+  (void)kernel;
+  bool current_ok =
+      current_ != kNoThread &&
+      std::find(runnable.begin(), runnable.end(), current_) != runnable.end();
+  if (current_ok && !rng_.Chance(switch_num_, switch_den_)) {
+    return current_;
+  }
+  current_ = runnable[rng_.PickIndex(runnable.size())];
+  return current_;
+}
+
+RunResult RunToCompletion(KernelSim& kernel, SchedulerPolicy& policy,
+                          const RunOptions& options) {
+  int64_t steps = 0;
+  while (!kernel.Done()) {
+    if (steps++ >= options.max_steps) {
+      // Hung task: synthesize a watchdog report against an arbitrary
+      // unfinished thread.
+      for (ThreadId tid = 0; tid < kernel.thread_count(); ++tid) {
+        const ThreadContext& t = kernel.thread(tid);
+        if (!t.exited()) {
+          Failure f;
+          f.type = FailureType::kWatchdog;
+          f.tid = tid;
+          f.at = {t.prog, t.pc};
+          f.message = "step budget exhausted";
+          // Inject via a direct collect below; KernelSim has no setter, so
+          // we return a synthesized result.
+          RunResult r = kernel.Collect();
+          r.failure = f;
+          return r;
+        }
+      }
+      break;
+    }
+    std::vector<ThreadId> runnable = kernel.RunnableThreads();
+    if (runnable.empty()) {
+      break;  // Done() handles exits; a blocked-only state is a deadlock
+    }
+    ThreadId tid = policy.Pick(kernel, runnable);
+    kernel.Step(tid);
+  }
+
+  RunResult r = kernel.Collect();
+  if (!r.failure.has_value() && !r.all_exited) {
+    // Every unfinished thread is blocked (parked threads are under hypervisor
+    // control and do not count as deadlocked on their own).
+    bool any_blocked = false;
+    bool any_parked = false;
+    ThreadId victim = kNoThread;
+    for (ThreadId tid = 0; tid < kernel.thread_count(); ++tid) {
+      const ThreadContext& t = kernel.thread(tid);
+      if (t.state == ThreadState::kBlocked) {
+        any_blocked = true;
+        victim = tid;
+      } else if (t.state == ThreadState::kParked) {
+        any_parked = true;
+      }
+    }
+    if (any_blocked && !any_parked) {
+      const ThreadContext& t = kernel.thread(victim);
+      Failure f;
+      f.type = FailureType::kDeadlock;
+      f.tid = victim;
+      f.at = {t.prog, t.pc};
+      f.addr = t.blocked_on;
+      f.message = "all unfinished threads blocked on locks";
+      r.failure = f;
+    }
+  }
+  return r;
+}
+
+RunResult RunWithPolicy(const KernelImage& image, const std::vector<ThreadSpec>& threads,
+                        SchedulerPolicy& policy, const RunOptions& options) {
+  KernelSim kernel(&image, threads);
+  return RunToCompletion(kernel, policy, options);
+}
+
+}  // namespace aitia

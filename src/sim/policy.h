@@ -1,0 +1,70 @@
+// Scheduler policies and the top-level run loop.
+//
+// Plain policies are used by the fuzzer (random preemption) and by LIFS's
+// interleaving-count-0 runs (sequential execution). Schedule *enforcement*
+// lives in src/hv — it drives KernelSim::Step directly.
+
+#ifndef SRC_SIM_POLICY_H_
+#define SRC_SIM_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/kernel.h"
+#include "src/util/rng.h"
+
+namespace aitia {
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  // Picks the next thread to step among `runnable` (never empty).
+  virtual ThreadId Pick(const KernelSim& kernel, const std::vector<ThreadId>& runnable) = 0;
+};
+
+// Runs threads without preemption, in a fixed base order; threads spawned at
+// runtime (kworkers, RCU callbacks) run after all earlier threads finish, in
+// spawn order. This is LIFS's interleaving-count-0 execution (§3.3).
+class SeqPolicy : public SchedulerPolicy {
+ public:
+  explicit SeqPolicy(std::vector<ThreadId> order) : order_(std::move(order)) {}
+  ThreadId Pick(const KernelSim& kernel, const std::vector<ThreadId>& runnable) override;
+
+ private:
+  std::vector<ThreadId> order_;
+};
+
+// Preempts at random points — the Syzkaller-ish environment that surfaces
+// failures nondeterministically (src/fuzz).
+class RandomPolicy : public SchedulerPolicy {
+ public:
+  // Switches away from the current thread with probability
+  // `switch_num/switch_den` per step.
+  RandomPolicy(uint64_t seed, uint64_t switch_num = 1, uint64_t switch_den = 4)
+      : rng_(seed), switch_num_(switch_num), switch_den_(switch_den) {}
+  ThreadId Pick(const KernelSim& kernel, const std::vector<ThreadId>& runnable) override;
+
+ private:
+  Rng rng_;
+  uint64_t switch_num_;
+  uint64_t switch_den_;
+  ThreadId current_ = kNoThread;
+};
+
+struct RunOptions {
+  int64_t max_steps = 200000;
+};
+
+// Drives `kernel` under `policy` until failure, completion, deadlock, or the
+// watchdog budget; synthesizes kDeadlock / kWatchdog failures as needed and
+// returns the collected result.
+RunResult RunToCompletion(KernelSim& kernel, SchedulerPolicy& policy,
+                          const RunOptions& options = {});
+
+// Convenience: construct a sim over `image`/`threads` and run it.
+RunResult RunWithPolicy(const KernelImage& image, const std::vector<ThreadSpec>& threads,
+                        SchedulerPolicy& policy, const RunOptions& options = {});
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_POLICY_H_

@@ -1,0 +1,88 @@
+#include "src/sim/program.h"
+
+#include <cstdlib>
+
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+
+Addr KernelImage::AddGlobal(const std::string& name, Word init) {
+  if (global_by_name_.count(name) != 0) {
+    AITIA_LOG(kError) << "duplicate global: " << name;
+    std::abort();
+  }
+  if (next_global_ >= kGlobalEnd) {
+    AITIA_LOG(kError) << "global region exhausted";
+    std::abort();
+  }
+  GlobalVar var{name, next_global_++, init};
+  global_by_name_[name] = globals_.size();
+  globals_.push_back(var);
+  return var.addr;
+}
+
+ProgramId KernelImage::AddProgram(Program program) {
+  if (program_by_name_.count(program.name) != 0) {
+    AITIA_LOG(kError) << "duplicate program: " << program.name;
+    std::abort();
+  }
+  program.id = static_cast<ProgramId>(programs_.size());
+  program_by_name_[program.name] = program.id;
+  programs_.push_back(std::move(program));
+  return programs_.back().id;
+}
+
+Addr KernelImage::GlobalAddr(const std::string& name) const {
+  auto it = global_by_name_.find(name);
+  if (it == global_by_name_.end()) {
+    AITIA_LOG(kError) << "unknown global: " << name;
+    std::abort();
+  }
+  return globals_[it->second].addr;
+}
+
+ProgramId KernelImage::ProgramByName(const std::string& name) const {
+  auto it = program_by_name_.find(name);
+  if (it == program_by_name_.end()) {
+    AITIA_LOG(kError) << "unknown program: " << name;
+    std::abort();
+  }
+  return it->second;
+}
+
+ProgramId KernelImage::FindProgram(const std::string& name) const {
+  auto it = program_by_name_.find(name);
+  return it == program_by_name_.end() ? kNoProgram : it->second;
+}
+
+Addr KernelImage::FindGlobal(const std::string& name) const {
+  auto it = global_by_name_.find(name);
+  return it == global_by_name_.end() ? 0 : globals_[it->second].addr;
+}
+
+std::string KernelImage::GlobalName(Addr addr) const {
+  for (const auto& g : globals_) {
+    if (g.addr == addr) {
+      return g.name;
+    }
+  }
+  return "";
+}
+
+std::string KernelImage::Describe(InstrAddr at) const {
+  if (at.prog < 0 || static_cast<size_t>(at.prog) >= programs_.size()) {
+    return "<invalid>";
+  }
+  const Program& p = programs_[static_cast<size_t>(at.prog)];
+  if (at.pc < 0 || at.pc >= p.size()) {
+    return StrFormat("%s+%d <out of range>", p.name.c_str(), at.pc);
+  }
+  const Instr& instr = p.At(at.pc);
+  if (!instr.note.empty()) {
+    return StrFormat("%s+%d [%s]", p.name.c_str(), at.pc, instr.note.c_str());
+  }
+  return StrFormat("%s+%d [%s]", p.name.c_str(), at.pc, OpName(instr.op));
+}
+
+}  // namespace aitia

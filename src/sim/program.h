@@ -1,0 +1,74 @@
+// Programs and the kernel image.
+//
+// A Program is one piece of kernel code (a system-call handler body, a
+// kworker function, an RCU callback). A KernelImage bundles all programs of a
+// scenario together with the scenario's named global variables — the analog of
+// a built vmlinux plus its data section.
+
+#ifndef SRC_SIM_PROGRAM_H_
+#define SRC_SIM_PROGRAM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/instr.h"
+#include "src/sim/types.h"
+
+namespace aitia {
+
+struct Program {
+  ProgramId id = kNoProgram;
+  std::string name;
+  std::vector<Instr> code;
+
+  const Instr& At(Pc pc) const { return code[static_cast<size_t>(pc)]; }
+  Pc size() const { return static_cast<Pc>(code.size()); }
+};
+
+struct GlobalVar {
+  std::string name;
+  Addr addr = 0;
+  Word init = 0;
+};
+
+class KernelImage {
+ public:
+  KernelImage() = default;
+
+  // Registers a global variable; returns its address. Names must be unique.
+  Addr AddGlobal(const std::string& name, Word init);
+
+  // Registers a program; returns its id. Names must be unique.
+  ProgramId AddProgram(Program program);
+
+  const Program& program(ProgramId id) const { return programs_[static_cast<size_t>(id)]; }
+  const std::vector<Program>& programs() const { return programs_; }
+  const std::vector<GlobalVar>& globals() const { return globals_; }
+
+  // Lookup helpers (abort on unknown name — scenario construction bugs).
+  Addr GlobalAddr(const std::string& name) const;
+  ProgramId ProgramByName(const std::string& name) const;
+
+  // Non-aborting lookups; return kNoProgram / 0 when absent.
+  ProgramId FindProgram(const std::string& name) const;
+  Addr FindGlobal(const std::string& name) const;
+
+  // Reverse lookup for reports. Returns "" if `addr` is not a global.
+  std::string GlobalName(Addr addr) const;
+
+  // Human-readable location of an instruction, e.g.
+  // "fanout_add+3 [A6: po->fanout = match]".
+  std::string Describe(InstrAddr at) const;
+
+ private:
+  std::vector<Program> programs_;
+  std::vector<GlobalVar> globals_;
+  std::map<std::string, ProgramId> program_by_name_;
+  std::map<std::string, size_t> global_by_name_;
+  Addr next_global_ = kGlobalBase;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_PROGRAM_H_

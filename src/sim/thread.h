@@ -1,0 +1,76 @@
+// Thread contexts of the simulated kernel.
+
+#ifndef SRC_SIM_THREAD_H_
+#define SRC_SIM_THREAD_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace aitia {
+
+// Execution context classes the paper distinguishes (§3.3, Figure 4):
+// system calls, workqueue kworkers, and RCU callbacks (softirq) — plus
+// hardware-IRQ handlers, which the paper leaves as future work (§4.6) and
+// this implementation supports via IRQ injection at scheduling points.
+enum class ThreadKind { kSyscall, kKworker, kRcuCallback, kHardIrq };
+
+const char* ThreadKindName(ThreadKind kind);
+
+enum class ThreadState {
+  kRunnable,
+  kBlocked,  // spinning on a lock held elsewhere
+  kParked,   // suspended on the hypervisor trampoline (§4.4)
+  kExited,
+};
+
+struct ThreadContext {
+  ThreadId id = kNoThread;
+  std::string name;
+  ProgramId prog = kNoProgram;
+  ThreadKind kind = ThreadKind::kSyscall;
+  ThreadState state = ThreadState::kRunnable;
+
+  std::array<Word, kNumRegs> regs{};
+  Pc pc = 0;
+  std::vector<Pc> call_stack;
+
+  // Lock this thread is currently blocked on (valid when kBlocked).
+  Addr blocked_on = 0;
+  // Locks held, in acquisition order.
+  std::vector<Addr> held_locks;
+
+  // Executed-count per pc; gives each dynamic instruction its occurrence id.
+  std::unordered_map<Pc, int32_t> exec_counts;
+
+  ThreadId parent = kNoThread;
+  // Trace sequence number of the spawning instruction (-1 for initial threads).
+  int64_t spawn_seq = -1;
+  // The r0 argument the context started with.
+  Word initial_arg = 0;
+
+  bool runnable() const { return state == ThreadState::kRunnable; }
+  bool exited() const { return state == ThreadState::kExited; }
+};
+
+// A hardware-IRQ source that may be injected at scheduling points (§4.6
+// extension): e.g. a serial-console interrupt handler.
+struct IrqLine {
+  ProgramId handler = kNoProgram;
+  Word arg = 0;
+};
+
+// Static description of an initial (system call) thread in a slice.
+struct ThreadSpec {
+  std::string name;
+  ProgramId prog = kNoProgram;
+  Word arg = 0;
+  ThreadKind kind = ThreadKind::kSyscall;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_THREAD_H_

@@ -1,0 +1,70 @@
+// Execution-history modeling (§4.2).
+//
+// The bug-finding front end (src/fuzz, standing in for Syzkaller+ftrace)
+// emits a timestamped stream of system-call enter/exit events and
+// background-thread invocation events, plus the failure information that a
+// coredump would carry. AITIA's modeling stage turns this into slices —
+// groups of concurrently executing threads to hand to a reproducer.
+
+#ifndef SRC_TRACE_HISTORY_H_
+#define SRC_TRACE_HISTORY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/failure.h"
+#include "src/sim/thread.h"
+#include "src/sim/types.h"
+
+namespace aitia {
+
+enum class HistoryKind {
+  kSyscallEnter,
+  kSyscallExit,
+  kBgInvoke,  // queue_work / call_rcu observed via kernel-event tracing
+};
+
+struct HistoryEntry {
+  int64_t timestamp = 0;   // fine-grained logical timestamp
+  HistoryKind kind = HistoryKind::kSyscallEnter;
+  // Task identity as the tracer sees it. Syscall enter/exit share a task id;
+  // a bg invocation names the spawned context's task id.
+  int32_t task = -1;
+  std::string name;        // "setsockopt", "kworker:flush#0", ...
+  ProgramId prog = kNoProgram;
+  Word arg = 0;
+  ThreadKind thread_kind = ThreadKind::kSyscall;
+  // Resource tag for semantic closure across syscalls (e.g. the fd shared by
+  // an open/write/close family). Empty if none.
+  std::string resource;
+  // For kBgInvoke: the task that caused the invocation.
+  int32_t source_task = -1;
+};
+
+// What the coredump + crash report yield (§4.2 "modeling stage").
+struct FailureInfo {
+  Failure failure;
+  int64_t timestamp = 0;  // when the failure manifested
+  int32_t task = -1;      // faulting task
+};
+
+struct ExecutionHistory {
+  std::vector<HistoryEntry> entries;
+  std::optional<FailureInfo> failure;
+};
+
+// A slice: up to three threads that executed concurrently, plus the
+// sequential prologue needed to restore cross-syscall semantics (the open()
+// for a racing close(), §4.2).
+struct Slice {
+  std::vector<ThreadSpec> setup;
+  std::vector<ThreadSpec> threads;
+  // Task ids backing `threads` (diagnostics only).
+  std::vector<int32_t> tasks;
+  std::string Describe() const;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_TRACE_HISTORY_H_

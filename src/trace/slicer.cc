@@ -1,0 +1,216 @@
+#include "src/trace/slicer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace {
+
+struct Interval {
+  int64_t begin = 0;
+  int64_t end = std::numeric_limits<int64_t>::max();
+  int32_t task = -1;
+  std::string name;
+  ProgramId prog = kNoProgram;
+  Word arg = 0;
+  ThreadKind kind = ThreadKind::kSyscall;
+  std::string resource;
+  int32_t source_task = -1;  // for bg invocations
+  bool is_bg = false;
+};
+
+bool Overlaps(const Interval& a, const Interval& b) {
+  return a.begin <= b.end && b.begin <= a.end;
+}
+
+std::vector<Interval> BuildIntervals(const ExecutionHistory& history) {
+  std::vector<Interval> intervals;
+  std::map<int32_t, size_t> open;  // task -> interval index
+  for (const HistoryEntry& e : history.entries) {
+    switch (e.kind) {
+      case HistoryKind::kSyscallEnter:
+      case HistoryKind::kBgInvoke: {
+        Interval iv;
+        iv.begin = e.timestamp;
+        iv.task = e.task;
+        iv.name = e.name;
+        iv.prog = e.prog;
+        iv.arg = e.arg;
+        iv.kind = e.thread_kind;
+        iv.resource = e.resource;
+        iv.source_task = e.source_task;
+        iv.is_bg = e.kind == HistoryKind::kBgInvoke;
+        open[e.task] = intervals.size();
+        intervals.push_back(iv);
+        break;
+      }
+      case HistoryKind::kSyscallExit: {
+        auto it = open.find(e.task);
+        if (it != open.end()) {
+          intervals[it->second].end = e.timestamp;
+          open.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  return intervals;
+}
+
+ThreadSpec SpecOf(const Interval& iv) {
+  return ThreadSpec{iv.name, iv.prog, iv.arg, iv.kind};
+}
+
+}  // namespace
+
+std::string Slice::Describe() const {
+  std::vector<std::string> names;
+  names.reserve(threads.size());
+  for (const auto& t : threads) {
+    names.push_back(t.name);
+  }
+  std::string text = "{" + StrJoin(names, ", ") + "}";
+  if (!setup.empty()) {
+    std::vector<std::string> s;
+    s.reserve(setup.size());
+    for (const auto& t : setup) {
+      s.push_back(t.name);
+    }
+    text += " setup{" + StrJoin(s, ", ") + "}";
+  }
+  return text;
+}
+
+std::vector<Slice> BuildSlices(const ExecutionHistory& history, const SlicerOptions& options) {
+  std::vector<Interval> intervals = BuildIntervals(history);
+  std::vector<Slice> slices;
+  if (intervals.empty()) {
+    return slices;
+  }
+
+  const int64_t failure_ts = history.failure.has_value()
+                                 ? history.failure->timestamp
+                                 : std::numeric_limits<int64_t>::max();
+
+  // Anchor candidates: intervals ordered by proximity of their end to the
+  // failure point, latest first ("backward from the point of a failure").
+  std::vector<size_t> order(intervals.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    auto key = [&](size_t i) {
+      const Interval& iv = intervals[i];
+      // Prefer the faulting task's interval, then latest end before failure.
+      bool faulting = history.failure.has_value() && iv.task == history.failure->task;
+      int64_t end = std::min(iv.end, failure_ts);
+      return std::make_pair(faulting ? 1 : 0, end);
+    };
+    return key(a) > key(b);
+  });
+
+  std::set<std::vector<int32_t>> seen_task_sets;
+
+  for (size_t anchor : order) {
+    const Interval& a = intervals[anchor];
+    // Concurrent peers of the anchor.
+    std::vector<size_t> peers;
+    for (size_t j = 0; j < intervals.size(); ++j) {
+      if (j != anchor && Overlaps(a, intervals[j])) {
+        peers.push_back(j);
+      }
+    }
+
+    // Enumerate subsets of peers up to the thread budget (anchor included),
+    // larger subsets first — they are more likely to contain every thread the
+    // failure needs.
+    const size_t budget = options.max_threads_per_slice - 1;
+    std::vector<std::vector<size_t>> combos;
+    combos.push_back({});
+    for (size_t p : peers) {
+      size_t existing = combos.size();
+      for (size_t c = 0; c < existing; ++c) {
+        if (combos[c].size() < budget) {
+          auto next = combos[c];
+          next.push_back(p);
+          combos.push_back(std::move(next));
+        }
+      }
+    }
+    std::stable_sort(combos.begin(), combos.end(),
+                     [](const auto& x, const auto& y) { return x.size() > y.size(); });
+
+    for (const auto& combo : combos) {
+      std::vector<size_t> members = combo;
+      members.push_back(anchor);
+      std::sort(members.begin(), members.end());
+
+      // A spawned background context whose spawner is in the slice must not
+      // be started independently — the spawner recreates it at runtime.
+      std::set<int32_t> member_tasks;
+      for (size_t m : members) {
+        member_tasks.insert(intervals[m].task);
+      }
+      std::vector<size_t> started;
+      for (size_t m : members) {
+        const Interval& iv = intervals[m];
+        if (iv.is_bg && iv.source_task >= 0 && member_tasks.count(iv.source_task) != 0) {
+          continue;  // will be spawned by its source
+        }
+        started.push_back(m);
+      }
+      if (started.empty()) {
+        continue;
+      }
+
+      std::vector<int32_t> task_sig;
+      for (size_t m : members) {
+        task_sig.push_back(intervals[m].task);
+      }
+      if (!seen_task_sets.insert(task_sig).second) {
+        continue;
+      }
+
+      Slice slice;
+      // Threads start in timestamp order (diagnostics; LIFS permutes anyway).
+      std::sort(started.begin(), started.end(),
+                [&](size_t x, size_t y) { return intervals[x].begin < intervals[y].begin; });
+      int64_t slice_begin = std::numeric_limits<int64_t>::max();
+      for (size_t m : started) {
+        slice.threads.push_back(SpecOf(intervals[m]));
+        slice.tasks.push_back(intervals[m].task);
+        slice_begin = std::min(slice_begin, intervals[m].begin);
+      }
+
+      // Resource closure: earlier completed syscalls sharing a resource tag
+      // become the sequential prologue.
+      std::set<std::string> tags;
+      for (size_t m : members) {
+        if (!intervals[m].resource.empty()) {
+          tags.insert(intervals[m].resource);
+        }
+      }
+      std::vector<size_t> setup_idx;
+      for (size_t j = 0; j < intervals.size(); ++j) {
+        const Interval& iv = intervals[j];
+        if (iv.end < slice_begin && !iv.resource.empty() && tags.count(iv.resource) != 0) {
+          setup_idx.push_back(j);
+        }
+      }
+      std::sort(setup_idx.begin(), setup_idx.end(),
+                [&](size_t x, size_t y) { return intervals[x].begin < intervals[y].begin; });
+      for (size_t j : setup_idx) {
+        slice.setup.push_back(SpecOf(intervals[j]));
+      }
+
+      slices.push_back(std::move(slice));
+    }
+  }
+  return slices;
+}
+
+}  // namespace aitia

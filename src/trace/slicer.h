@@ -1,0 +1,31 @@
+// Slicing an execution history into candidate reproduction groups (§4.2).
+//
+// Rules from the paper:
+//  - a slice holds threads that executed concurrently;
+//  - slices keep cross-syscall semantics: syscalls sharing a resource tag
+//    pull in their setup syscalls (which become the sequential prologue);
+//  - a slice contains at most three threads (footnote 3);
+//  - slices are ordered backward from the failure point, because the root
+//    cause is likely close to the failure.
+
+#ifndef SRC_TRACE_SLICER_H_
+#define SRC_TRACE_SLICER_H_
+
+#include <vector>
+
+#include "src/trace/history.h"
+
+namespace aitia {
+
+struct SlicerOptions {
+  size_t max_threads_per_slice = 3;
+};
+
+// Produces candidate slices, most promising first. The reproducing stage
+// tries them in order until LIFS reproduces the failure.
+std::vector<Slice> BuildSlices(const ExecutionHistory& history,
+                               const SlicerOptions& options = {});
+
+}  // namespace aitia
+
+#endif  // SRC_TRACE_SLICER_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logging. Diagnosis runs are chatty at kDebug; benches and
+// examples run at kInfo.
+
+#ifndef SRC_UTIL_LOG_H_
+#define SRC_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace aitia {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace aitia
+
+#define AITIA_LOG(level) \
+  ::aitia::internal::LogLine(::aitia::LogLevel::level)
+
+#endif  // SRC_UTIL_LOG_H_

@@ -1,0 +1,54 @@
+#include "src/util/rng.h"
+
+namespace aitia {
+namespace {
+
+// splitmix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(x);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias; bound is tiny in practice so the
+  // loop almost never iterates.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+bool Rng::Chance(uint64_t numerator, uint64_t denominator) {
+  return NextBelow(denominator) < numerator;
+}
+
+}  // namespace aitia

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the benchmark tables (LIFS/CA times).
+
+#ifndef SRC_UTIL_STOPWATCH_H_
+#define SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace aitia {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_UTIL_STOPWATCH_H_

@@ -1,0 +1,23 @@
+// Small string helpers shared by reports and benches.
+
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace aitia {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+// Pads or truncates `s` to exactly `width` columns (left-aligned).
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace aitia
+
+#endif  // SRC_UTIL_STRINGS_H_

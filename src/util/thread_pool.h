@@ -1,0 +1,55 @@
+// Fixed-size worker pool used to parallelize independent reproducer and
+// diagnoser runs — the analog of the paper's fleet of 32 AITIA VMs (§4.1).
+//
+// Each submitted task is independent and deterministic; the pool only
+// parallelizes *across* runs, never inside one, so results are identical to a
+// serial execution.
+
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aitia {
+
+class ThreadPool {
+ public:
+  // `workers == 0` picks the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs `fn(i)` for i in [0, n) on `pool`, blocking until all complete.
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace aitia
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

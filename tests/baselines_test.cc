@@ -1,0 +1,136 @@
+// Tests for the baseline diagnosers (src/baselines) against scenario ground
+// truth — the measurable backbone of Table 1 and §5.3.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/coop.h"
+#include "src/baselines/inflection.h"
+#include "src/baselines/muvi.h"
+#include "src/baselines/racecount.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+
+namespace aitia {
+namespace {
+
+AitiaReport Diagnose(const BugScenario& s) {
+  AitiaOptions options;
+  options.lifs.target_type = s.truth.failure_type;
+  return DiagnoseSlice(*s.image, s.slice, s.setup, options);
+}
+
+TEST(RaceCountTest, RawStatsDwarfTheChain) {
+  for (const char* id : {"CVE-2017-15649", "syz-08", "fig-1"}) {
+    BugScenario s = MakeScenario(id);
+    AitiaReport report = Diagnose(s);
+    ASSERT_TRUE(report.diagnosed) << id;
+    RawRaceStats raw = CountRawRaces(report.lifs.failing_run);
+    EXPECT_GT(raw.memory_accessing_instructions,
+              static_cast<int64_t>(report.causality.chain.race_count()))
+        << id;
+    // Chains may add phantom races the raw detector cannot see; together
+    // they always dominate the chain size.
+    EXPECT_GE(raw.data_races + static_cast<int64_t>(report.lifs.phantom_races.size()),
+              static_cast<int64_t>(report.causality.chain.race_count()))
+        << id;
+    EXPECT_GE(raw.conflicting_pairs, raw.data_races) << id;
+  }
+}
+
+TEST(InflectionTest, FindsADeviatingDecisionOnFig5) {
+  BugScenario s = MakeScenario("fig-5");
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed);
+  InflectionResult inf =
+      FindInflectionPoint(*s.image, s.slice, s.setup, report.lifs.failing_run);
+  ASSERT_TRUE(inf.found);
+  EXPECT_GT(inf.clean_runs_collected, 0);
+  // The inflection point is a single instruction — by construction it cannot
+  // name both races of the two-race chain.
+  EXPECT_EQ(report.causality.chain.race_count(), 2u);
+}
+
+TEST(InflectionTest, DeterministicGivenSeeds) {
+  BugScenario s = MakeScenario("fig-1");
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed);
+  InflectionResult a =
+      FindInflectionPoint(*s.image, s.slice, s.setup, report.lifs.failing_run);
+  InflectionResult b =
+      FindInflectionPoint(*s.image, s.slice, s.setup, report.lifs.failing_run);
+  EXPECT_EQ(a.found, b.found);
+  if (a.found) {
+    EXPECT_EQ(a.inflection, b.inflection);
+  }
+}
+
+TEST(CoopTest, TopPatternHitsSingleVariableBug) {
+  // CVE-2017-2636 is the classic single-pointer atomicity violation; the
+  // top-correlated pattern must involve the racing variable.
+  BugScenario s = MakeScenario("CVE-2017-2636");
+  const auto ranges = RacingAddressRanges(s);
+  CoopResult coop = RunCoopLocalization(*s.image, s.slice, s.setup);
+  ASSERT_GT(coop.failed_runs, 0);
+  ASSERT_GT(coop.clean_runs, 0);
+  ASSERT_FALSE(coop.ranked.empty());
+  bool hit = false;
+  for (size_t i = 0; i < coop.ranked.size() && i < 3; ++i) {
+    hit = hit || InRanges(ranges, coop.ranked[i].addr);
+  }
+  EXPECT_TRUE(hit);
+}
+
+TEST(CoopTest, CorrelationsAreOrderedAndBounded) {
+  BugScenario s = MakeScenario("CVE-2017-10661");
+  CoopResult coop = RunCoopLocalization(*s.image, s.slice, s.setup);
+  for (size_t i = 1; i < coop.ranked.size(); ++i) {
+    EXPECT_GE(coop.ranked[i - 1].correlation, coop.ranked[i].correlation);
+  }
+  for (const CoopPattern& p : coop.ranked) {
+    EXPECT_GE(p.correlation, -1.0);
+    EXPECT_LE(p.correlation, 1.0);
+    EXPECT_GE(p.fail_with, 2);  // min support
+  }
+}
+
+class MuviAssumptionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MuviAssumptionTest, MeasuredCorrelationMatchesGroundTruth) {
+  BugScenario s = MakeScenario(GetParam());
+  MuviResult muvi = RunMuvi(s.MakeWorkload(), s.truth.racing_globals);
+  EXPECT_EQ(muvi.assumption_holds, s.truth.muvi_assumption_holds) << s.id;
+}
+
+// Tightly correlated multi-variable bugs (MUVI works) vs loosely correlated
+// ones (MUVI's assumption fails) vs single-variable (nothing to correlate).
+INSTANTIATE_TEST_SUITE_P(Corpus, MuviAssumptionTest,
+                         ::testing::Values("CVE-2017-15649", "syz-03", "syz-06", "syz-08",
+                                           "CVE-2019-6974", "syz-01", "syz-04", "syz-09",
+                                           "syz-05", "syz-07"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(MuviTest, NoiseLowersCoaccessRatio) {
+  BugScenario s = MakeScenario("CVE-2019-6974");
+  // With noise (the declared workload), the fd/kvm pair is loose.
+  MuviResult with_noise = RunMuvi(s.MakeWorkload(), s.truth.racing_globals);
+  EXPECT_FALSE(with_noise.assumption_holds);
+  // Without the noise syscalls, the same pair looks tightly correlated —
+  // exactly why whole-workload statistics are required (§2.2).
+  FuzzWorkload no_noise;
+  no_noise.image = s.image.get();
+  no_noise.threads = s.slice;
+  no_noise.setup = s.setup;
+  MuviResult clean = RunMuvi(no_noise, s.truth.racing_globals);
+  EXPECT_TRUE(clean.assumption_holds);
+}
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,120 @@
+// Unit tests for causality-chain construction (src/core/chain).
+
+#include <gtest/gtest.h>
+
+#include "src/core/chain.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+// Builds a minimal image with annotated instructions so RaceLabel works.
+KernelImage MakeImage() {
+  KernelImage image;
+  ProgramBuilder a("prog_a");
+  a.Nop().Note("A1: first").Nop().Note("A2: second").Exit();
+  image.AddProgram(a.Build());
+  ProgramBuilder b("prog_b");
+  b.Nop().Note("B1: first").Nop().Note("B2: second").Exit();
+  image.AddProgram(b.Build());
+  return image;
+}
+
+RacePair MakeRace(Pc a_pc, Pc b_pc, int64_t first_seq, int64_t second_seq) {
+  RacePair race;
+  race.first.di = {0, {0, a_pc}, 0};
+  race.first.seq = first_seq;
+  race.second.di = {1, {1, b_pc}, 0};
+  race.second.seq = second_seq;
+  return race;
+}
+
+Failure BugOnFailure() {
+  Failure f;
+  f.type = FailureType::kAssertViolation;
+  return f;
+}
+
+TEST(ChainTest, LinearChainRendersInOrder) {
+  KernelImage image = MakeImage();
+  std::vector<RacePair> races = {MakeRace(0, 0, 0, 5), MakeRace(1, 1, 6, 9)};
+  // Race 0's flip makes race 1 disappear.
+  std::vector<std::vector<size_t>> disappears = {{1}, {}};
+  CausalityChain chain =
+      CausalityChain::Build(races, disappears, {false, false}, BugOnFailure());
+  EXPECT_EQ(chain.race_count(), 2u);
+  EXPECT_EQ(chain.nodes().size(), 2u);
+  std::string text = chain.Render(image);
+  EXPECT_LT(text.find("A1 => B1"), text.find("A2 => B2")) << text;
+  EXPECT_NE(text.find("kernel BUG"), std::string::npos);
+}
+
+TEST(ChainTest, MutualDisappearanceFormsConjunction) {
+  KernelImage image = MakeImage();
+  std::vector<RacePair> races = {MakeRace(0, 0, 0, 5), MakeRace(1, 1, 1, 6),
+                                 MakeRace(0, 1, 2, 9)};
+  // Races 0 and 1 each make the other disappear; both steer race 2.
+  std::vector<std::vector<size_t>> disappears = {{1, 2}, {0, 2}, {}};
+  CausalityChain chain =
+      CausalityChain::Build(races, disappears, {false, false, false}, BugOnFailure());
+  ASSERT_EQ(chain.nodes().size(), 2u);
+  EXPECT_EQ(chain.nodes()[0].races.size(), 2u);  // the conjunction
+  EXPECT_EQ(chain.nodes()[1].races.size(), 1u);
+  std::string text = chain.Render(image);
+  EXPECT_NE(text.find(" ^ "), std::string::npos);
+}
+
+TEST(ChainTest, TransitiveEdgesReduced) {
+  KernelImage image = MakeImage();
+  std::vector<RacePair> races = {MakeRace(0, 0, 0, 3), MakeRace(1, 0, 4, 6),
+                                 MakeRace(1, 1, 7, 9)};
+  // 0 -> {1,2}, 1 -> {2}: the direct 0 -> 2 edge must be reduced away.
+  std::vector<std::vector<size_t>> disappears = {{1, 2}, {2}, {}};
+  CausalityChain chain =
+      CausalityChain::Build(races, disappears, {false, false, false}, BugOnFailure());
+  EXPECT_EQ(chain.nodes().size(), 3u);
+  EXPECT_EQ(chain.edges().size(), 2u);
+}
+
+TEST(ChainTest, AmbiguousFlagSurfacesInNodeAndRender) {
+  KernelImage image = MakeImage();
+  std::vector<RacePair> races = {MakeRace(0, 0, 0, 5)};
+  CausalityChain chain = CausalityChain::Build(races, {{}}, {true}, BugOnFailure());
+  EXPECT_TRUE(chain.has_ambiguity());
+  EXPECT_NE(chain.Render(image).find("[ambiguous]"), std::string::npos);
+}
+
+TEST(ChainTest, EmptyChainStillNamesFailure) {
+  KernelImage image = MakeImage();
+  CausalityChain chain = CausalityChain::Build({}, {}, {}, BugOnFailure());
+  EXPECT_EQ(chain.race_count(), 0u);
+  EXPECT_NE(chain.Render(image).find("kernel BUG"), std::string::npos);
+}
+
+TEST(ChainTest, RaceLabelUsesNoteTags) {
+  KernelImage image = MakeImage();
+  RacePair race = MakeRace(1, 0, 0, 1);
+  EXPECT_EQ(RaceLabel(image, race), "A2 => B1");
+}
+
+TEST(ChainTest, RaceLabelFallsBackToProgramOffset) {
+  KernelImage image;
+  ProgramBuilder p("raw");
+  p.Nop().Exit();  // no notes
+  image.AddProgram(p.Build());
+  RacePair race;
+  race.first.di = {0, {0, 0}, 0};
+  race.second.di = {0, {0, 1}, 0};
+  std::string label = RaceLabel(image, race);
+  EXPECT_NE(label.find("raw+0"), std::string::npos);
+}
+
+TEST(ChainTest, CsPairLabelMarked) {
+  KernelImage image = MakeImage();
+  RacePair race = MakeRace(0, 0, 0, 1);
+  race.cs_pair = true;
+  EXPECT_NE(RaceLabel(image, race).find("cs{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,130 @@
+// Corpus-wide checks: every modeled bug (Tables 2/3 + abstract figures) must
+// reproduce under LIFS and yield a causality chain matching its ground truth
+// — the per-bug backbone behind the paper's §5.1/§5.2 claims.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+
+namespace aitia {
+namespace {
+
+class CorpusTest : public ::testing::TestWithParam<std::string> {};
+
+AitiaReport Diagnose(const BugScenario& s) { return DiagnoseScenario(s); }
+
+TEST_P(CorpusTest, ReproducesReportedFailureType) {
+  BugScenario s = MakeScenario(GetParam());
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed) << s.id;
+  EXPECT_EQ(report.lifs.failure->type, s.truth.failure_type) << s.id;
+}
+
+TEST_P(CorpusTest, InterleavingCountMatchesDesign) {
+  BugScenario s = MakeScenario(GetParam());
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed) << s.id;
+  EXPECT_EQ(report.lifs.interleaving_count, s.truth.expected_interleavings) << s.id;
+  // The paper's headline LIFS observation: failures reproduce with at most
+  // two preemptions (§5.1).
+  EXPECT_LE(report.lifs.interleaving_count, 2) << s.id;
+}
+
+TEST_P(CorpusTest, ChainSizeMatchesDesign) {
+  BugScenario s = MakeScenario(GetParam());
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed) << s.id;
+  EXPECT_GE(report.causality.chain.race_count(), 1u) << s.id;
+  if (s.truth.expected_chain_races > 0) {
+    EXPECT_EQ(report.causality.chain.race_count(),
+              static_cast<size_t>(s.truth.expected_chain_races))
+        << s.id << "\n"
+        << report.causality.chain.Render(*s.image);
+  }
+}
+
+TEST_P(CorpusTest, AmbiguityOnlyWhereExpected) {
+  BugScenario s = MakeScenario(GetParam());
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed) << s.id;
+  EXPECT_EQ(report.causality.ambiguous, s.truth.expect_ambiguity)
+      << s.id << "\n"
+      << report.causality.chain.Render(*s.image);
+}
+
+TEST_P(CorpusTest, ChainContainsNoBenignRace) {
+  BugScenario s = MakeScenario(GetParam());
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed) << s.id;
+  // Every race in the chain must have a non-benign verdict (§5.2: "causality
+  // chains do not contain any benign data race").
+  for (const ChainNode& node : report.causality.chain.nodes()) {
+    for (const RacePair& race : node.races) {
+      bool found = false;
+      for (const TestedRace& t : report.causality.tested) {
+        if (t.race.first.di == race.first.di && t.race.second.di == race.second.di) {
+          found = true;
+          EXPECT_NE(t.verdict, RaceVerdict::kBenign)
+              << s.id << " " << RaceLabel(*s.image, race);
+        }
+      }
+      EXPECT_TRUE(found) << s.id;
+    }
+  }
+}
+
+TEST_P(CorpusTest, ChainRacesTouchTheTrueRacingState) {
+  // Every race AITIA puts in a chain must be about the bug's actual racing
+  // variables (globals or the heap objects they publish) — the chain points
+  // the developer at the right state, not at bystander memory.
+  BugScenario s = MakeScenario(GetParam());
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed) << s.id;
+  const auto ranges = RacingAddressRanges(s);
+  for (const ChainNode& node : report.causality.chain.nodes()) {
+    for (const RacePair& race : node.races) {
+      const bool touches = InRanges(ranges, race.first.addr) ||
+                           InRanges(ranges, race.second.addr);
+      EXPECT_TRUE(touches) << s.id << " " << RaceLabel(*s.image, race);
+    }
+  }
+}
+
+TEST_P(CorpusTest, FlippingAnyChainRacePreventsFailure) {
+  // The chain's defining property (§2.1): "if a fix does not allow one of
+  // the interleaving orders in the chain, it does not incur a failure".
+  BugScenario s = MakeScenario(GetParam());
+  AitiaReport report = Diagnose(s);
+  ASSERT_TRUE(report.diagnosed) << s.id;
+  for (const TestedRace& t : report.causality.tested) {
+    if (t.verdict == RaceVerdict::kRootCause) {
+      EXPECT_FALSE(t.flip_still_failed) << s.id << " " << RaceLabel(*s.image, t.race);
+    }
+  }
+}
+
+std::vector<std::string> AllIds() {
+  std::vector<std::string> ids;
+  for (const ScenarioEntry& e : AllScenarios()) {
+    ids.emplace_back(e.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBugs, CorpusTest, ::testing::ValuesIn(AllIds()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace aitia

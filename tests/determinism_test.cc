@@ -1,0 +1,83 @@
+// Property tests: determinism and schedule-enforcement invariants over the
+// whole corpus. The paper's methodology depends on both (§3.2): a schedule
+// must uniquely determine the run, and replaying a failure-causing sequence
+// must reproduce the identical failure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/bugs/registry.h"
+#include "src/core/lifs.h"
+#include "src/hv/enforcer.h"
+
+namespace aitia {
+namespace {
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+LifsResult Reproduce(const BugScenario& s) {
+  LifsOptions options;
+  options.target_type = s.truth.failure_type;
+  options.irq_lines = s.irq_lines;
+  Lifs lifs(s.image.get(), s.slice, s.setup, options);
+  return lifs.Run();
+}
+
+TEST_P(DeterminismTest, FailingScheduleReplaysIdentically) {
+  BugScenario s = MakeScenario(GetParam());
+  LifsResult r = Reproduce(s);
+  ASSERT_TRUE(r.reproduced) << s.id;
+
+  Enforcer enforcer(s.image.get());
+  EnforceResult replay = enforcer.RunPreemption(s.slice, r.failing_schedule, s.setup);
+  ASSERT_TRUE(replay.run.failure.has_value()) << s.id;
+  EXPECT_TRUE(SameSymptom(*replay.run.failure, *r.failure)) << s.id;
+  ASSERT_EQ(replay.run.trace.size(), r.failing_run.trace.size()) << s.id;
+  for (size_t i = 0; i < replay.run.trace.size(); ++i) {
+    EXPECT_EQ(replay.run.trace[i].di, r.failing_run.trace[i].di) << s.id << " @" << i;
+    EXPECT_EQ(replay.run.trace[i].value, r.failing_run.trace[i].value) << s.id << " @" << i;
+  }
+}
+
+TEST_P(DeterminismTest, TotalOrderReplayOfFailingTraceFails) {
+  // The diagnosing-stage premise: replaying the exact failure-causing total
+  // order (no flip) must reproduce the failure.
+  BugScenario s = MakeScenario(GetParam());
+  LifsResult r = Reproduce(s);
+  ASSERT_TRUE(r.reproduced) << s.id;
+
+  TotalOrderSchedule schedule;
+  schedule.base_order = r.failing_schedule.base_order;
+  schedule.irq_threads = r.irq_threads;
+  for (const ExecEvent& e : r.failing_run.trace) {
+    schedule.sequence.push_back(e.di);
+  }
+  Enforcer enforcer(s.image.get());
+  EnforceResult replay = enforcer.RunTotalOrder(s.slice, schedule, s.setup);
+  ASSERT_TRUE(replay.run.failure.has_value()) << s.id;
+  EXPECT_TRUE(SameSymptom(*replay.run.failure, *r.failure)) << s.id;
+  EXPECT_TRUE(replay.disappeared.empty()) << s.id;
+}
+
+std::vector<std::string> AllIds() {
+  std::vector<std::string> ids;
+  for (const ScenarioEntry& e : AllScenarios()) {
+    ids.emplace_back(e.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBugs, DeterminismTest, ::testing::ValuesIn(AllIds()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,252 @@
+// Unit tests for the hypervisor-analog schedule enforcer (src/hv).
+
+#include <gtest/gtest.h>
+
+#include "src/hv/enforcer.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+// Two writer threads over one global; thread ids 0 and 1.
+struct TwoWriters {
+  KernelImage image;
+  Addr g = 0;
+  std::vector<ThreadSpec> threads;
+
+  TwoWriters() {
+    g = image.AddGlobal("g", 0);
+    for (int i = 0; i < 2; ++i) {
+      ProgramBuilder b(i == 0 ? "w0" : "w1");
+      b.Lea(R1, g)
+          .StoreImm(R1, i + 1)   // pc 1: first store
+          .StoreImm(R1, 10 + i)  // pc 2: second store
+          .Exit();
+      image.AddProgram(b.Build());
+    }
+    threads = {{"a", 0, 0, ThreadKind::kSyscall}, {"b", 1, 0, ThreadKind::kSyscall}};
+  }
+};
+
+std::vector<DynInstr> ExecutedOrder(const RunResult& run) {
+  std::vector<DynInstr> order;
+  for (const ExecEvent& e : run.trace) {
+    order.push_back(e.di);
+  }
+  return order;
+}
+
+TEST(EnforcerPreemptionTest, NoPointsRunsBaseOrder) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  EnforceResult er = enforcer.RunPreemption(w.threads, {{1, 0}, {}});
+  ASSERT_FALSE(er.run.failure.has_value());
+  // Base order (1, 0): all of thread 1's events precede thread 0's.
+  bool seen_zero = false;
+  for (const ExecEvent& e : er.run.trace) {
+    if (e.di.tid == 0) {
+      seen_zero = true;
+    }
+    if (seen_zero) {
+      EXPECT_EQ(e.di.tid, 0);
+    }
+  }
+}
+
+TEST(EnforcerPreemptionTest, PostPointParksAfterInstruction) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  schedule.points = {{DynInstr{0, {0, 1}, 0}, /*before=*/false, kNoThread}};
+  EnforceResult er = enforcer.RunPreemption(w.threads, schedule);
+  EXPECT_TRUE(er.unfired_points.empty());
+  // Thread 0 retires pc 0 and pc 1, then thread 1 runs fully, then thread 0.
+  std::vector<DynInstr> order = ExecutedOrder(er.run);
+  ASSERT_GE(order.size(), 3u);
+  EXPECT_EQ(order[0].tid, 0);
+  EXPECT_EQ(order[1], (DynInstr{0, {0, 1}, 0}));
+  EXPECT_EQ(order[2].tid, 1);
+}
+
+TEST(EnforcerPreemptionTest, PrePointParksBeforeInstruction) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  schedule.points = {{DynInstr{0, {0, 1}, 0}, /*before=*/true, kNoThread}};
+  EnforceResult er = enforcer.RunPreemption(w.threads, schedule);
+  std::vector<DynInstr> order = ExecutedOrder(er.run);
+  // Thread 0 retires only pc 0 (lea), then thread 1 runs; pc 1 comes later.
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[0], (DynInstr{0, {0, 0}, 0}));
+  EXPECT_EQ(order[1].tid, 1);
+}
+
+TEST(EnforcerPreemptionTest, WatchpointDetectsConflictingAccess) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  // Park thread 0 right after its first store; thread 1's stores then trip
+  // the watchpoint armed on g (the Figure 8 workflow).
+  schedule.points = {{DynInstr{0, {0, 1}, 0}, false, kNoThread}};
+  EnforceResult er = enforcer.RunPreemption(w.threads, schedule);
+  ASSERT_FALSE(er.watch_hits.empty());
+  EXPECT_EQ(er.watch_hits[0].owner.tid, 0);
+  EXPECT_EQ(er.watch_hits[0].addr, w.g);
+  EXPECT_EQ(er.watch_hits[0].access.di.tid, 1);
+}
+
+TEST(EnforcerPreemptionTest, UnfiredPointReported) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  schedule.points = {{DynInstr{0, {0, 1}, 5}, false, kNoThread}};  // occurrence 5 never
+  EnforceResult er = enforcer.RunPreemption(w.threads, schedule);
+  ASSERT_EQ(er.unfired_points.size(), 1u);
+}
+
+TEST(EnforcerPreemptionTest, ParkedThreadsResumeInFifoOrder) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  schedule.points = {
+      {DynInstr{0, {0, 1}, 0}, false, kNoThread},  // park 0 after its store
+      {DynInstr{1, {1, 1}, 0}, false, kNoThread},  // park 1 after its store
+  };
+  EnforceResult er = enforcer.RunPreemption(w.threads, schedule);
+  // 0 parked first, so it resumes first after 1 parks.
+  std::vector<DynInstr> order = ExecutedOrder(er.run);
+  // Find the resume points: after both parks, next event must be thread 0.
+  size_t park1_index = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == (DynInstr{1, {1, 1}, 0})) {
+      park1_index = i;
+    }
+  }
+  ASSERT_LT(park1_index + 1, order.size());
+  EXPECT_EQ(order[park1_index + 1].tid, 0);
+}
+
+TEST(EnforcerTotalOrderTest, ExactReplayReproducesTrace) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  // Reference run: base order (0,1).
+  EnforceResult ref = enforcer.RunPreemption(w.threads, {{0, 1}, {}});
+  TotalOrderSchedule schedule;
+  schedule.base_order = {0, 1};
+  for (const ExecEvent& e : ref.run.trace) {
+    schedule.sequence.push_back(e.di);
+  }
+  EnforceResult er = enforcer.RunTotalOrder(w.threads, schedule);
+  EXPECT_TRUE(er.disappeared.empty());
+  EXPECT_EQ(er.deviations, 0);
+  ASSERT_EQ(er.run.trace.size(), ref.run.trace.size());
+  for (size_t i = 0; i < er.run.trace.size(); ++i) {
+    EXPECT_EQ(er.run.trace[i].di, ref.run.trace[i].di) << i;
+  }
+}
+
+TEST(EnforcerTotalOrderTest, InterleavedReplayFollowsSequence) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  TotalOrderSchedule schedule;
+  schedule.base_order = {0, 1};
+  // Alternate: 0:pc0, 1:pc0, 0:pc1, 1:pc1, 0:pc2, 1:pc2, 0:pc3, 1:pc3.
+  for (Pc pc = 0; pc < 4; ++pc) {
+    schedule.sequence.push_back({0, {0, pc}, 0});
+    schedule.sequence.push_back({1, {1, pc}, 0});
+  }
+  EnforceResult er = enforcer.RunTotalOrder(w.threads, schedule);
+  EXPECT_TRUE(er.disappeared.empty());
+  ASSERT_EQ(er.run.trace.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(er.run.trace[i].di.tid, static_cast<ThreadId>(i % 2));
+  }
+}
+
+TEST(EnforcerTotalOrderTest, DivergenceParksThreadAndDropsEntries) {
+  // A thread whose branch outcome differs from the scheduled path.
+  KernelImage image;
+  Addr flag = image.AddGlobal("flag", 0);
+  Addr out = image.AddGlobal("out", 0);
+  {
+    ProgramBuilder b("reader");
+    b.Lea(R1, flag)
+        .Load(R2, R1)       // pc 1
+        .Beqz(R2, "skip")   // pc 2
+        .Lea(R3, out)       // pc 3 (only when flag != 0)
+        .StoreImm(R3, 7)    // pc 4
+        .Label("skip")
+        .Exit();            // pc 5
+    image.AddProgram(b.Build());
+  }
+  std::vector<ThreadSpec> threads = {{"r", 0, 0, ThreadKind::kSyscall}};
+  Enforcer enforcer(&image);
+  TotalOrderSchedule schedule;
+  schedule.base_order = {0};
+  // Schedule expects the flag != 0 path, but flag is 0: divergence at pc 3.
+  schedule.sequence = {{0, {0, 0}, 0}, {0, {0, 1}, 0}, {0, {0, 2}, 0},
+                       {0, {0, 3}, 0}, {0, {0, 4}, 0}, {0, {0, 5}, 0}};
+  EnforceResult er = enforcer.RunTotalOrder(threads, schedule);
+  EXPECT_FALSE(er.run.failure.has_value());
+  // pc 3 and pc 4 disappeared; the drain phase finished the thread.
+  ASSERT_GE(er.disappeared.size(), 2u);
+  EXPECT_TRUE(er.run.all_exited);
+  // The store never executed.
+  bool stored = false;
+  for (const ExecEvent& e : er.run.trace) {
+    stored = stored || (e.is_access && e.is_write && e.addr == out);
+  }
+  EXPECT_FALSE(stored);
+}
+
+TEST(EnforcerTotalOrderTest, LockContentionFallsBackWithDeviations) {
+  KernelImage image;
+  Addr lock = image.AddGlobal("lock", 0);
+  for (const char* name : {"l0", "l1"}) {
+    ProgramBuilder b(name);
+    b.Lea(R1, lock).Lock(R1).Nop().Unlock(R1).Exit();
+    image.AddProgram(b.Build());
+  }
+  std::vector<ThreadSpec> threads = {{"a", 0, 0, ThreadKind::kSyscall},
+                                     {"b", 1, 0, ThreadKind::kSyscall}};
+  Enforcer enforcer(&image);
+  TotalOrderSchedule schedule;
+  schedule.base_order = {0, 1};
+  // Ask thread 1 to acquire while thread 0 still holds the lock; the
+  // enforcer must drain the holder to preserve liveness.
+  schedule.sequence = {
+      {0, {0, 0}, 0},  // lea
+      {0, {0, 1}, 0},  // lock
+      {1, {1, 0}, 0},  // lea
+      {1, {1, 1}, 0},  // lock -> blocked; holder drains (deviations)
+      {1, {1, 2}, 0}, {1, {1, 3}, 0}, {1, {1, 4}, 0},
+      {0, {0, 2}, 0}, {0, {0, 3}, 0}, {0, {0, 4}, 0},
+  };
+  EnforceResult er = enforcer.RunTotalOrder(threads, schedule);
+  EXPECT_FALSE(er.run.failure.has_value());
+  EXPECT_TRUE(er.run.all_exited);
+  EXPECT_GT(er.deviations, 0);
+}
+
+TEST(EnforcerTest, DeterministicReplay) {
+  TwoWriters w;
+  Enforcer enforcer(&w.image);
+  PreemptionSchedule schedule;
+  schedule.base_order = {1, 0};
+  schedule.points = {{DynInstr{1, {1, 1}, 0}, false, kNoThread}};
+  EnforceResult a = enforcer.RunPreemption(w.threads, schedule);
+  EnforceResult b = enforcer.RunPreemption(w.threads, schedule);
+  ASSERT_EQ(a.run.trace.size(), b.run.trace.size());
+  for (size_t i = 0; i < a.run.trace.size(); ++i) {
+    EXPECT_EQ(a.run.trace[i].di, b.run.trace[i].di);
+    EXPECT_EQ(a.run.trace[i].value, b.run.trace[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace aitia

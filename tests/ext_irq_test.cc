@@ -1,0 +1,102 @@
+// Tests for the hardware-IRQ extension (the paper's §4.6 future work):
+// IRQ handlers injected at LIFS scheduling points, replayed through
+// Causality Analysis.
+
+#include <gtest/gtest.h>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/hv/enforcer.h"
+
+namespace aitia {
+namespace {
+
+TEST(ExtIrqTest, InjectedHandlerIsAHardIrqContext) {
+  BugScenario s = MakeScenario("ext-irq");
+  KernelSim kernel(s.image.get(), s.slice, s.setup);
+  ThreadId irq = kernel.InjectIrq(s.irq_lines[0].handler, s.irq_lines[0].arg);
+  EXPECT_EQ(kernel.thread(irq).kind, ThreadKind::kHardIrq);
+  EXPECT_TRUE(kernel.thread(irq).runnable());
+  // No spawn edge: the interrupt is unordered with everything.
+  RunResult r = kernel.Collect();
+  EXPECT_TRUE(r.spawns.empty());
+}
+
+TEST(ExtIrqTest, LifsReproducesWithOneInjection) {
+  BugScenario s = MakeScenario("ext-irq");
+  AitiaReport report = DiagnoseScenario(s);
+  ASSERT_TRUE(report.diagnosed);
+  EXPECT_EQ(report.lifs.failure->type, FailureType::kUseAfterFreeRead);
+  EXPECT_EQ(report.lifs.interleaving_count, 1);
+  // The failing schedule carries an injection point.
+  bool injected = false;
+  for (const PreemptPoint& p : report.lifs.failing_schedule.points) {
+    injected = injected || p.inject_irq != kNoProgram;
+  }
+  EXPECT_TRUE(injected);
+  // The failing run contains a hardirq context.
+  EXPECT_FALSE(report.lifs.irq_threads.empty());
+}
+
+TEST(ExtIrqTest, ChainCrossesTheIrqBoundary) {
+  BugScenario s = MakeScenario("ext-irq");
+  AitiaReport report = DiagnoseScenario(s);
+  ASSERT_TRUE(report.diagnosed);
+  EXPECT_EQ(report.causality.chain.race_count(), 2u);
+  std::string chain = report.causality.chain.Render(*s.image);
+  EXPECT_NE(chain.find("H1 => A3"), std::string::npos) << chain;
+  EXPECT_NE(chain.find("A2 => H2"), std::string::npos) << chain;
+  // Cause precedes effect in the rendering.
+  EXPECT_LT(chain.find("H1 => A3"), chain.find("A2 => H2")) << chain;
+  EXPECT_FALSE(report.causality.ambiguous);
+}
+
+TEST(ExtIrqTest, FlipTestsReplayTheInjectedContext) {
+  // Causality Analysis must re-inject the handler when replaying flipped
+  // total orders; otherwise every handler-side entry would "disappear" and
+  // verdicts would be meaningless.
+  BugScenario s = MakeScenario("ext-irq");
+  AitiaReport report = DiagnoseScenario(s);
+  ASSERT_TRUE(report.diagnosed);
+  for (const TestedRace& t : report.causality.tested) {
+    if (t.verdict == RaceVerdict::kRootCause) {
+      EXPECT_TRUE(t.flip_took_effect) << RaceLabel(*s.image, t.race);
+    }
+  }
+}
+
+TEST(ExtIrqTest, WithoutIrqLinesTheBugIsUnreachable) {
+  // The §4.6 limitation itself: a single syscall with no IRQ source has no
+  // concurrency, so the failure cannot reproduce.
+  BugScenario s = MakeScenario("ext-irq");
+  AitiaOptions options;
+  options.lifs.target_type = s.truth.failure_type;
+  options.lifs.irq_lines.clear();
+  AitiaReport report = DiagnoseSlice(*s.image, s.slice, s.setup, options);
+  EXPECT_FALSE(report.diagnosed);
+}
+
+TEST(ExtIrqTest, TotalOrderReplayReinjectsByThreadId) {
+  BugScenario s = MakeScenario("ext-irq");
+  LifsOptions lo;
+  lo.target_type = s.truth.failure_type;
+  lo.irq_lines = s.irq_lines;
+  Lifs lifs(s.image.get(), s.slice, s.setup, lo);
+  LifsResult lr = lifs.Run();
+  ASSERT_TRUE(lr.reproduced);
+
+  TotalOrderSchedule schedule;
+  schedule.base_order = lr.failing_schedule.base_order;
+  schedule.irq_threads = lr.irq_threads;
+  for (const ExecEvent& e : lr.failing_run.trace) {
+    schedule.sequence.push_back(e.di);
+  }
+  Enforcer enforcer(s.image.get());
+  EnforceResult replay = enforcer.RunTotalOrder(s.slice, schedule, s.setup);
+  ASSERT_TRUE(replay.run.failure.has_value());
+  EXPECT_TRUE(SameSymptom(*replay.run.failure, *lr.failure));
+  EXPECT_TRUE(replay.disappeared.empty());
+}
+
+}  // namespace
+}  // namespace aitia

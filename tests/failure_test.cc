@@ -1,0 +1,60 @@
+// Unit tests for the failure model (src/sim/failure).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/failure.h"
+
+namespace aitia {
+namespace {
+
+Failure Make(FailureType type, ProgramId prog, Pc pc) {
+  Failure f;
+  f.type = type;
+  f.tid = 0;
+  f.at = {prog, pc};
+  return f;
+}
+
+TEST(FailureTest, SameSymptomRequiresTypeAndLocation) {
+  Failure a = Make(FailureType::kNullDeref, 1, 5);
+  EXPECT_TRUE(SameSymptom(a, Make(FailureType::kNullDeref, 1, 5)));
+  EXPECT_FALSE(SameSymptom(a, Make(FailureType::kNullDeref, 1, 6)));
+  EXPECT_FALSE(SameSymptom(a, Make(FailureType::kUseAfterFreeRead, 1, 5)));
+}
+
+TEST(FailureTest, WholeRunSymptomsMatchByTypeOnly) {
+  EXPECT_TRUE(SameSymptom(Make(FailureType::kMemoryLeak, 1, 5),
+                          Make(FailureType::kMemoryLeak, 2, 9)));
+  EXPECT_TRUE(
+      SameSymptom(Make(FailureType::kDeadlock, 1, 5), Make(FailureType::kDeadlock, 2, 9)));
+  EXPECT_TRUE(
+      SameSymptom(Make(FailureType::kWatchdog, 1, 5), Make(FailureType::kWatchdog, 0, 0)));
+}
+
+TEST(FailureTest, OptionalOverloadHandlesAbsence) {
+  std::optional<Failure> none;
+  std::optional<Failure> some = Make(FailureType::kNullDeref, 1, 1);
+  EXPECT_TRUE(SameSymptom(none, none));
+  EXPECT_FALSE(SameSymptom(none, some));
+  EXPECT_FALSE(SameSymptom(some, none));
+  EXPECT_TRUE(SameSymptom(some, some));
+}
+
+TEST(FailureTest, ToStringNamesTypeLocationAndMessage) {
+  Failure f = Make(FailureType::kUseAfterFreeWrite, 3, 7);
+  f.addr = 0x100010;
+  f.message = "B2: write";
+  std::string text = f.ToString();
+  EXPECT_NE(text.find("use-after-free Write"), std::string::npos);
+  EXPECT_NE(text.find("0x100010"), std::string::npos);
+  EXPECT_NE(text.find("B2: write"), std::string::npos);
+}
+
+TEST(FailureTest, EveryTypeHasAName) {
+  for (int t = 0; t <= static_cast<int>(FailureType::kWatchdog); ++t) {
+    EXPECT_STRNE(FailureTypeName(static_cast<FailureType>(t)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,106 @@
+// Unit tests for the bug-finding front end (src/fuzz).
+
+#include <gtest/gtest.h>
+
+#include "src/bugs/registry.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/sim/builder.h"
+
+namespace aitia {
+namespace {
+
+TEST(FuzzerTest, FindsFig1FailureAndReportsSeed) {
+  BugScenario s = MakeScenario("fig-1");
+  FuzzOutcome outcome = FuzzUntilFailure(s.MakeWorkload());
+  ASSERT_TRUE(outcome.found);
+  EXPECT_GT(outcome.attempts, 0);
+  ASSERT_TRUE(outcome.run.failure.has_value());
+  EXPECT_EQ(outcome.run.failure->type, FailureType::kNullDeref);
+}
+
+TEST(FuzzerTest, SameSeedReproducesSameRun) {
+  BugScenario s = MakeScenario("fig-1");
+  FuzzOutcome a = FuzzUntilFailure(s.MakeWorkload());
+  ASSERT_TRUE(a.found);
+  FuzzOptions options;
+  options.first_seed = a.seed;
+  options.max_attempts = 1;
+  FuzzOutcome b = FuzzUntilFailure(s.MakeWorkload(), options);
+  ASSERT_TRUE(b.found);
+  ASSERT_EQ(a.run.trace.size(), b.run.trace.size());
+  for (size_t i = 0; i < a.run.trace.size(); ++i) {
+    EXPECT_EQ(a.run.trace[i].di, b.run.trace[i].di);
+  }
+}
+
+TEST(FuzzerTest, HistoryContainsEnterForEveryThread) {
+  BugScenario s = MakeScenario("fig-1");
+  FuzzOutcome outcome = FuzzUntilFailure(s.MakeWorkload());
+  ASSERT_TRUE(outcome.found);
+  int enters = 0;
+  for (const HistoryEntry& e : outcome.history.entries) {
+    if (e.kind == HistoryKind::kSyscallEnter) {
+      ++enters;
+    }
+  }
+  EXPECT_GE(enters, 2);
+  ASSERT_TRUE(outcome.history.failure.has_value());
+  EXPECT_EQ(outcome.history.failure->failure.type, FailureType::kNullDeref);
+}
+
+TEST(FuzzerTest, BgInvocationRecordedWithSourceTask) {
+  BugScenario s = MakeScenario("fig-5");  // B spawns the kworker
+  FuzzOutcome outcome = FuzzUntilFailure(s.MakeWorkload());
+  ASSERT_TRUE(outcome.found);
+  bool bg_seen = false;
+  for (const HistoryEntry& e : outcome.history.entries) {
+    if (e.kind == HistoryKind::kBgInvoke) {
+      bg_seen = true;
+      EXPECT_GE(e.source_task, 0);
+      EXPECT_EQ(e.thread_kind, ThreadKind::kKworker);
+    }
+  }
+  EXPECT_TRUE(bg_seen);
+}
+
+TEST(FuzzerTest, SetupSyscallsGetNegativeTimestamps) {
+  BugScenario s = MakeScenario("CVE-2019-11486");  // has an open() setup
+  FuzzOutcome outcome = FuzzUntilFailure(s.MakeWorkload());
+  ASSERT_TRUE(outcome.found);
+  bool setup_entry = false;
+  for (const HistoryEntry& e : outcome.history.entries) {
+    if (e.timestamp < 0) {
+      setup_entry = true;
+      EXPECT_FALSE(e.resource.empty());
+    }
+  }
+  EXPECT_TRUE(setup_entry);
+}
+
+TEST(FuzzerTest, CleanWorkloadNeverReportsFailure) {
+  // A trivially race-free workload: two threads writing different globals.
+  KernelImage image;
+  Addr a = image.AddGlobal("a", 0);
+  Addr b = image.AddGlobal("b", 0);
+  {
+    ProgramBuilder p("wa");
+    p.Lea(R1, a).StoreImm(R1, 1).Exit();
+    image.AddProgram(p.Build());
+  }
+  {
+    ProgramBuilder p("wb");
+    p.Lea(R1, b).StoreImm(R1, 1).Exit();
+    image.AddProgram(p.Build());
+  }
+  FuzzWorkload workload;
+  workload.image = &image;
+  workload.threads = {{"a", 0, 0, ThreadKind::kSyscall}, {"b", 1, 0, ThreadKind::kSyscall}};
+  FuzzOptions options;
+  options.max_attempts = 50;
+  FuzzOutcome outcome = FuzzUntilFailure(workload, options);
+  EXPECT_FALSE(outcome.found);
+  EXPECT_EQ(outcome.attempts, 50);
+}
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,62 @@
+// CVE-2017-15649 (Figure 2/6): the flagship multi-variable scenario.
+// Verifies LIFS reproduces with 2 interleavings and Causality Analysis
+// rebuilds the Figure 6 chain, including the phantom race B17 => A12 and the
+// conjunction (A2 => B11) ∧ (B2 => A6).
+
+#include <gtest/gtest.h>
+
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+
+namespace aitia {
+namespace {
+
+TEST(Cve201715649, ReproducesWithTwoInterleavings) {
+  BugScenario s = MakeScenario("CVE-2017-15649");
+  AitiaReport report = DiagnoseSlice(*s.image, s.slice, s.setup);
+  ASSERT_TRUE(report.diagnosed);
+  EXPECT_EQ(report.lifs.failure->type, FailureType::kAssertViolation);
+  EXPECT_EQ(report.lifs.interleaving_count, 2);
+}
+
+TEST(Cve201715649, BuildsFigure6Chain) {
+  BugScenario s = MakeScenario("CVE-2017-15649");
+  AitiaReport report = DiagnoseSlice(*s.image, s.slice, s.setup);
+  ASSERT_TRUE(report.diagnosed);
+
+  const CausalityChain& chain = report.causality.chain;
+  EXPECT_EQ(chain.race_count(), 4u);
+  EXPECT_FALSE(report.causality.ambiguous);
+
+  std::string rendered = chain.Render(*s.image);
+  // Conjunction node with both multi-variable orders (either member order).
+  const bool conjunction =
+      rendered.find("(A2 => B11) ^ (B2 => A6)") != std::string::npos ||
+      rendered.find("(B2 => A6) ^ (A2 => B11)") != std::string::npos;
+  EXPECT_TRUE(conjunction) << rendered;
+  EXPECT_NE(rendered.find("(A6 => B12)"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("(B17 => A12)"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("kernel BUG"), std::string::npos) << rendered;
+
+  // The chain must order conjunction -> race-steered read -> phantom.
+  EXPECT_LT(rendered.find("(A6 => B12)"), rendered.find("(B17 => A12)")) << rendered;
+  EXPECT_LT(rendered.find("(B2 => A6)"), rendered.find("(A6 => B12)")) << rendered;
+}
+
+TEST(Cve201715649, BenignStatCounterRacesExcluded) {
+  BugScenario s = MakeScenario("CVE-2017-15649");
+  AitiaReport report = DiagnoseSlice(*s.image, s.slice, s.setup);
+  ASSERT_TRUE(report.diagnosed);
+  EXPECT_GT(report.causality.benign_count, 0);
+  for (const TestedRace& t : report.causality.tested) {
+    if (t.verdict != RaceVerdict::kBenign) {
+      continue;
+    }
+    // Every benign race here is a stats-counter race.
+    std::string label = RaceLabel(*s.image, t.race);
+    EXPECT_NE(label.find("-st"), std::string::npos) << label;
+  }
+}
+
+}  // namespace
+}  // namespace aitia

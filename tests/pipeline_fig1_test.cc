@@ -1,0 +1,46 @@
+// End-to-end pipeline test on the Figure 1 abstract scenario: fuzz ->
+// history -> slices -> LIFS -> Causality Analysis -> chain.
+
+#include <gtest/gtest.h>
+
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/fuzz/fuzzer.h"
+
+namespace aitia {
+namespace {
+
+TEST(Fig1Pipeline, DiagnoseSliceBuildsTwoRaceChain) {
+  BugScenario s = MakeScenario("fig-1");
+  AitiaOptions options;
+  AitiaReport report = DiagnoseSlice(*s.image, s.slice, s.setup, options);
+
+  ASSERT_TRUE(report.diagnosed);
+  EXPECT_EQ(report.lifs.failure->type, FailureType::kNullDeref);
+  EXPECT_EQ(report.lifs.interleaving_count, 1);
+
+  // Exactly the two root-cause races, benign counter races excluded.
+  EXPECT_EQ(report.causality.chain.race_count(), 2u);
+  EXPECT_GT(report.causality.benign_count, 0);
+  EXPECT_FALSE(report.causality.ambiguous);
+
+  std::string chain = report.causality.chain.Render(*s.image);
+  EXPECT_NE(chain.find("A1 => B1"), std::string::npos) << chain;
+  EXPECT_NE(chain.find("B2 => A2"), std::string::npos) << chain;
+  EXPECT_NE(chain.find("null-ptr-deref"), std::string::npos) << chain;
+}
+
+TEST(Fig1Pipeline, FullPipelineFromFuzzer) {
+  BugScenario s = MakeScenario("fig-1");
+  FuzzOutcome fuzz = FuzzUntilFailure(s.MakeWorkload());
+  ASSERT_TRUE(fuzz.found);
+  ASSERT_TRUE(fuzz.history.failure.has_value());
+  EXPECT_EQ(fuzz.history.failure->failure.type, FailureType::kNullDeref);
+
+  AitiaReport report = DiagnoseHistory(*s.image, fuzz.history);
+  ASSERT_TRUE(report.diagnosed);
+  EXPECT_EQ(report.causality.chain.race_count(), 2u);
+}
+
+}  // namespace
+}  // namespace aitia

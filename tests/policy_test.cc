@@ -1,0 +1,130 @@
+// Unit tests for scheduler policies and the run loop (src/sim/policy).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/builder.h"
+#include "src/sim/policy.h"
+
+namespace aitia {
+namespace {
+
+// Three threads, each writing its id into a log list.
+KernelImage MakeLoggingImage() {
+  KernelImage image;
+  Addr log = image.AddGlobal("log", 0);
+  for (int i = 0; i < 3; ++i) {
+    ProgramBuilder b("w" + std::to_string(i));
+    b.Lea(R1, log).Mov(R2, R0).ListAdd(R1, R2).Exit();
+    image.AddProgram(b.Build());
+  }
+  return image;
+}
+
+std::vector<Word> LogOf(KernelSim& kernel, const KernelImage& image) {
+  return {kernel.memory().ListAt(image.GlobalAddr("log")).begin(),
+          kernel.memory().ListAt(image.GlobalAddr("log")).end()};
+}
+
+TEST(SeqPolicyTest, RunsThreadsInBaseOrder) {
+  KernelImage image = MakeLoggingImage();
+  std::vector<ThreadSpec> threads = {{"a", 0, 10, ThreadKind::kSyscall},
+                                     {"b", 1, 20, ThreadKind::kSyscall},
+                                     {"c", 2, 30, ThreadKind::kSyscall}};
+  KernelSim kernel(&image, threads);
+  SeqPolicy policy({2, 0, 1});
+  RunResult r = RunToCompletion(kernel, policy);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(LogOf(kernel, image), (std::vector<Word>{30, 10, 20}));
+}
+
+TEST(SeqPolicyTest, SpawnedThreadsRankAfterBaseThreads) {
+  KernelImage image;
+  Addr log = image.AddGlobal("log", 0);
+  ProgramBuilder w("worker");
+  w.Lea(R1, log).Mov(R2, R0).ListAdd(R1, R2).Exit();
+  ProgramId worker = image.AddProgram(w.Build());
+  {
+    ProgramBuilder b("spawner");
+    b.MovImm(R3, 99)
+        .QueueWork(worker, R3)
+        .Lea(R1, log)
+        .MovImm(R2, 1)
+        .ListAdd(R1, R2)
+        .Exit();
+    image.AddProgram(b.Build());
+  }
+  {
+    ProgramBuilder b("other");
+    b.Lea(R1, log).MovImm(R2, 2).ListAdd(R1, R2).Exit();
+    image.AddProgram(b.Build());
+  }
+  KernelSim kernel(&image, {{"s", image.ProgramByName("spawner"), 0, ThreadKind::kSyscall},
+                            {"o", image.ProgramByName("other"), 0, ThreadKind::kSyscall}});
+  SeqPolicy policy({0, 1});
+  RunResult r = RunToCompletion(kernel, policy);
+  EXPECT_FALSE(r.failed());
+  // Spawner finishes, then the other base thread, then the kworker.
+  EXPECT_EQ(LogOf(kernel, image), (std::vector<Word>{1, 2, 99}));
+}
+
+TEST(RandomPolicyTest, SameSeedSameSchedule) {
+  KernelImage image = MakeLoggingImage();
+  std::vector<ThreadSpec> threads = {{"a", 0, 10, ThreadKind::kSyscall},
+                                     {"b", 1, 20, ThreadKind::kSyscall},
+                                     {"c", 2, 30, ThreadKind::kSyscall}};
+  auto run = [&](uint64_t seed) {
+    KernelSim kernel(&image, threads);
+    RandomPolicy policy(seed);
+    RunResult r = RunToCompletion(kernel, policy);
+    std::vector<DynInstr> order;
+    for (const ExecEvent& e : r.trace) {
+      order.push_back(e.di);
+    }
+    return order;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(RandomPolicyTest, DifferentSeedsProduceDifferentInterleavings) {
+  KernelImage image = MakeLoggingImage();
+  std::vector<ThreadSpec> threads = {{"a", 0, 10, ThreadKind::kSyscall},
+                                     {"b", 1, 20, ThreadKind::kSyscall},
+                                     {"c", 2, 30, ThreadKind::kSyscall}};
+  std::set<std::vector<Word>> outcomes;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    KernelSim kernel(&image, threads);
+    RandomPolicy policy(seed, 1, 2);
+    RunToCompletion(kernel, policy);
+    outcomes.insert(LogOf(kernel, image));
+  }
+  // With 3 threads and heavy switching, several of the 6 orders appear.
+  EXPECT_GE(outcomes.size(), 3u);
+}
+
+TEST(RunLoopTest, CollectsAfterAllThreadsExit) {
+  KernelImage image = MakeLoggingImage();
+  KernelSim kernel(&image, {{"a", 0, 1, ThreadKind::kSyscall}});
+  SeqPolicy policy({0});
+  RunResult r = RunToCompletion(kernel, policy);
+  EXPECT_TRUE(r.all_exited);
+  EXPECT_GT(r.steps, 0);
+  EXPECT_EQ(r.threads.size(), 1u);
+}
+
+TEST(RunLoopTest, RunWithPolicyConvenienceMatchesManualDrive) {
+  KernelImage image = MakeLoggingImage();
+  std::vector<ThreadSpec> threads = {{"a", 0, 10, ThreadKind::kSyscall},
+                                     {"b", 1, 20, ThreadKind::kSyscall}};
+  SeqPolicy p1({0, 1});
+  RunResult via_helper = RunWithPolicy(image, threads, p1);
+  KernelSim kernel(&image, threads);
+  SeqPolicy p2({0, 1});
+  RunResult manual = RunToCompletion(kernel, p2);
+  ASSERT_EQ(via_helper.trace.size(), manual.trace.size());
+  for (size_t i = 0; i < manual.trace.size(); ++i) {
+    EXPECT_EQ(via_helper.trace[i].di, manual.trace[i].di);
+  }
+}
+
+}  // namespace
+}  // namespace aitia

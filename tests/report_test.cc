@@ -1,0 +1,70 @@
+// Unit tests for JSON report export (src/core/report).
+
+#include <gtest/gtest.h>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/report.h"
+
+namespace aitia {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ReportJsonTest, DiagnosedReportHasEveryField) {
+  BugScenario s = MakeScenario("CVE-2017-15649");
+  AitiaReport report = DiagnoseScenario(s);
+  ASSERT_TRUE(report.diagnosed);
+  std::string json = ReportToJson(report, *s.image);
+
+  EXPECT_NE(json.find("\"diagnosed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"failure\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel BUG (BUG_ON)\""), std::string::npos);
+  EXPECT_NE(json.find("\"interleavings\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"races\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"root-cause\""), std::string::npos);
+  EXPECT_NE(json.find("\"benign\""), std::string::npos);
+  EXPECT_NE(json.find("\"chain\""), std::string::npos);
+  EXPECT_NE(json.find("B17 => A12"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportJsonTest, UndiagnosedReportIsMinimal) {
+  BugScenario s = MakeScenario("fig-1");
+  AitiaOptions options;
+  options.lifs.target_type = FailureType::kDoubleFree;
+  options.lifs.max_schedules = 20;
+  AitiaReport report = DiagnoseSlice(*s.image, s.slice, s.setup, options);
+  ASSERT_FALSE(report.diagnosed);
+  std::string json = ReportToJson(report, *s.image);
+  EXPECT_NE(json.find("\"diagnosed\": false"), std::string::npos);
+  EXPECT_EQ(json.find("\"chain\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ReportJsonTest, ChainEdgesIndexNodes) {
+  BugScenario s = MakeScenario("fig-5");
+  AitiaReport report = DiagnoseScenario(s);
+  ASSERT_TRUE(report.diagnosed);
+  const CausalityChain& chain = report.causality.chain;
+  for (const auto& [from, to] : chain.edges()) {
+    EXPECT_LT(from, chain.nodes().size());
+    EXPECT_LT(to, chain.nodes().size());
+  }
+  std::string json = ReportToJson(report, *s.image);
+  EXPECT_NE(json.find("\"edges\": [[0, 1]]"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,185 @@
+// Unit tests for execution-history modeling and slicing (src/trace).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/trace/slicer.h"
+
+namespace aitia {
+namespace {
+
+HistoryEntry Enter(int64_t ts, int32_t task, const char* name, ProgramId prog,
+                   const char* resource = "") {
+  HistoryEntry e;
+  e.timestamp = ts;
+  e.kind = HistoryKind::kSyscallEnter;
+  e.task = task;
+  e.name = name;
+  e.prog = prog;
+  e.resource = resource;
+  return e;
+}
+
+HistoryEntry Exit(int64_t ts, int32_t task) {
+  HistoryEntry e;
+  e.timestamp = ts;
+  e.kind = HistoryKind::kSyscallExit;
+  e.task = task;
+  return e;
+}
+
+HistoryEntry BgInvoke(int64_t ts, int32_t task, int32_t source, const char* name,
+                      ProgramId prog) {
+  HistoryEntry e;
+  e.timestamp = ts;
+  e.kind = HistoryKind::kBgInvoke;
+  e.task = task;
+  e.source_task = source;
+  e.name = name;
+  e.prog = prog;
+  e.thread_kind = ThreadKind::kKworker;
+  return e;
+}
+
+FailureInfo FailAt(int64_t ts, int32_t task) {
+  FailureInfo info;
+  info.failure.type = FailureType::kNullDeref;
+  info.failure.tid = task;
+  info.timestamp = ts;
+  info.task = task;
+  return info;
+}
+
+TEST(SlicerTest, ConcurrentSyscallsGroupTogether) {
+  ExecutionHistory history;
+  history.entries = {Enter(0, 0, "write", 0), Enter(5, 1, "close", 1), Exit(10, 0),
+                     Exit(12, 1)};
+  history.failure = FailAt(9, 0);
+  std::vector<Slice> slices = BuildSlices(history);
+  ASSERT_FALSE(slices.empty());
+  EXPECT_EQ(slices[0].threads.size(), 2u);
+}
+
+TEST(SlicerTest, NonOverlappingSyscallsDoNotGroup) {
+  ExecutionHistory history;
+  history.entries = {Enter(0, 0, "a", 0), Exit(5, 0), Enter(10, 1, "b", 1), Exit(15, 1)};
+  history.failure = FailAt(14, 1);
+  std::vector<Slice> slices = BuildSlices(history);
+  for (const Slice& s : slices) {
+    EXPECT_EQ(s.threads.size(), 1u);
+  }
+}
+
+TEST(SlicerTest, SliceCappedAtThreeThreads) {
+  ExecutionHistory history;
+  for (int32_t t = 0; t < 5; ++t) {
+    history.entries.push_back(Enter(t, t, "s", t));
+  }
+  for (int32_t t = 0; t < 5; ++t) {
+    history.entries.push_back(Exit(100 + t, t));
+  }
+  history.failure = FailAt(50, 0);
+  for (const Slice& s : BuildSlices(history)) {
+    EXPECT_LE(s.threads.size(), 3u);
+  }
+}
+
+TEST(SlicerTest, FaultingTaskSlicesComeFirst) {
+  ExecutionHistory history;
+  history.entries = {Enter(0, 0, "victim", 0), Enter(1, 1, "peer", 1), Exit(20, 1)};
+  history.failure = FailAt(10, 0);
+  std::vector<Slice> slices = BuildSlices(history);
+  ASSERT_FALSE(slices.empty());
+  bool found = false;
+  for (int32_t t : slices[0].tasks) {
+    found = found || t == 0;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SlicerTest, ResourceClosurePullsSetupSyscalls) {
+  ExecutionHistory history;
+  history.entries = {Enter(-10, 7, "open", 3, "fd3"), Exit(-9, 7),
+                     Enter(0, 0, "write", 0, "fd3"), Enter(1, 1, "close", 1, "fd3"),
+                     Exit(10, 0), Exit(11, 1)};
+  history.failure = FailAt(9, 0);
+  std::vector<Slice> slices = BuildSlices(history);
+  ASSERT_FALSE(slices.empty());
+  const Slice& best = slices[0];
+  ASSERT_EQ(best.setup.size(), 1u);
+  EXPECT_EQ(best.setup[0].name, "open");
+  EXPECT_EQ(best.setup[0].prog, 3);
+}
+
+TEST(SlicerTest, SpawnedBgThreadNotStartedWhenSourceInSlice) {
+  ExecutionHistory history;
+  history.entries = {Enter(0, 0, "ioctl", 0), BgInvoke(5, 2, /*source=*/0, "kworker", 9),
+                     Enter(1, 1, "close", 1), Exit(20, 1), Exit(21, 0)};
+  history.failure = FailAt(18, 0);
+  std::vector<Slice> slices = BuildSlices(history);
+  ASSERT_FALSE(slices.empty());
+  // The best slice covers tasks {0,1,2}, but only starts the two syscalls —
+  // the kworker is respawned by its source at runtime.
+  const Slice& best = slices[0];
+  EXPECT_EQ(best.threads.size(), 2u);
+  for (const ThreadSpec& t : best.threads) {
+    EXPECT_EQ(t.kind, ThreadKind::kSyscall);
+  }
+}
+
+TEST(SlicerTest, OrphanBgThreadIsStarted) {
+  ExecutionHistory history;
+  // Source task 9 exited long before; the kworker must be started directly.
+  history.entries = {Enter(-20, 9, "setup", 5), Exit(-19, 9),
+                     BgInvoke(0, 2, /*source=*/9, "kworker", 7), Enter(1, 0, "read", 0),
+                     Exit(30, 0)};
+  history.failure = FailAt(25, 0);
+  std::vector<Slice> slices = BuildSlices(history);
+  bool kworker_started = false;
+  for (const Slice& s : slices) {
+    for (const ThreadSpec& t : s.threads) {
+      if (t.kind == ThreadKind::kKworker) {
+        kworker_started = true;
+      }
+    }
+  }
+  EXPECT_TRUE(kworker_started);
+}
+
+TEST(SlicerTest, OpenIntervalOverlapsEverythingAfterIt) {
+  ExecutionHistory history;
+  // Task 0 never exits (it faulted); task 1 starts much later.
+  history.entries = {Enter(0, 0, "stuck", 0), Enter(1000, 1, "late", 1), Exit(1010, 1)};
+  history.failure = FailAt(1005, 0);
+  std::vector<Slice> slices = BuildSlices(history);
+  ASSERT_FALSE(slices.empty());
+  EXPECT_EQ(slices[0].threads.size(), 2u);
+}
+
+TEST(SlicerTest, DuplicateTaskSetsDeduplicated) {
+  ExecutionHistory history;
+  history.entries = {Enter(0, 0, "a", 0), Enter(1, 1, "b", 1), Exit(10, 0), Exit(11, 1)};
+  history.failure = FailAt(9, 0);
+  std::vector<Slice> slices = BuildSlices(history);
+  std::set<std::vector<int32_t>> seen;
+  for (const Slice& s : slices) {
+    std::vector<int32_t> tasks = s.tasks;
+    std::sort(tasks.begin(), tasks.end());
+    EXPECT_TRUE(seen.insert(tasks).second) << "duplicate slice task set";
+  }
+}
+
+TEST(SlicerTest, DescribeMentionsThreadsAndSetup) {
+  Slice slice;
+  slice.threads = {{"write", 0, 0, ThreadKind::kSyscall}};
+  slice.setup = {{"open", 1, 0, ThreadKind::kSyscall}};
+  std::string text = slice.Describe();
+  EXPECT_NE(text.find("write"), std::string::npos);
+  EXPECT_NE(text.find("open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aitia

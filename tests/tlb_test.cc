@@ -1,0 +1,153 @@
+// Tests for TLB-shootdown IPIs and trampoline responsiveness (§4.4).
+//
+// The paper's requirement: a thread suspended on the hypervisor trampoline
+// must stay responsive to in-kernel communications such as TLB-shootdown
+// IPIs — otherwise enforcing a schedule against code that flushes the TLB
+// would wedge the machine.
+
+#include <gtest/gtest.h>
+
+#include "src/hv/enforcer.h"
+#include "src/sim/builder.h"
+#include "src/sim/policy.h"
+
+namespace aitia {
+namespace {
+
+// prog 0: "mm_syscall" — writes, flushes the TLB, writes again.
+// prog 1: "peer" — a few plain instructions.
+KernelImage MakeImage() {
+  KernelImage image;
+  Addr a = image.AddGlobal("a", 0);
+  Addr b = image.AddGlobal("b", 0);
+  {
+    ProgramBuilder p("mm_syscall");
+    p.Lea(R1, a)
+        .StoreImm(R1, 1)
+        .TlbFlush()
+        .Note("T: flush_tlb_mm_range()")
+        .StoreImm(R1, 2)
+        .Exit();
+    image.AddProgram(p.Build());
+  }
+  {
+    ProgramBuilder p("peer");
+    p.Lea(R1, b).StoreImm(R1, 1).Nop().Nop().StoreImm(R1, 2).Exit();
+    image.AddProgram(p.Build());
+  }
+  return image;
+}
+
+TEST(TlbFlushTest, SingleThreadCompletesImmediately) {
+  KernelImage image = MakeImage();
+  KernelSim kernel(&image, {{"t", 0, 0, ThreadKind::kSyscall}});
+  SeqPolicy policy({0});
+  RunResult r = RunToCompletion(kernel, policy);
+  EXPECT_FALSE(r.failed());
+  EXPECT_TRUE(r.all_exited);
+}
+
+TEST(TlbFlushTest, BroadcasterWaitsForRunningPeerAck) {
+  KernelImage image = MakeImage();
+  KernelSim kernel(&image, {{"mm", 0, 0, ThreadKind::kSyscall},
+                            {"peer", 1, 0, ThreadKind::kSyscall}});
+  // Drive manually: run mm up to the flush.
+  ASSERT_TRUE(kernel.Step(0));  // lea
+  ASSERT_TRUE(kernel.Step(0));  // store 1
+  // The flush cannot retire: the peer is runnable and has not acked.
+  EXPECT_FALSE(kernel.Step(0));
+  EXPECT_EQ(kernel.thread(0).state, ThreadState::kBlocked);
+  EXPECT_EQ(kernel.thread(0).blocked_on, kIpiWaitAddr);
+  // One retired peer instruction acknowledges the IPI.
+  ASSERT_TRUE(kernel.Step(1));
+  EXPECT_TRUE(kernel.thread(0).runnable());
+  EXPECT_TRUE(kernel.Step(0));  // flush retires now
+  EXPECT_EQ(kernel.trace().back().op, Op::kTlbFlush);
+}
+
+TEST(TlbFlushTest, ParkedPeerAcksFromTheTrampoline) {
+  KernelImage image = MakeImage();
+  KernelSim kernel(&image, {{"mm", 0, 0, ThreadKind::kSyscall},
+                            {"peer", 1, 0, ThreadKind::kSyscall}});
+  kernel.Park(1);
+  ASSERT_TRUE(kernel.Step(0));  // lea
+  ASSERT_TRUE(kernel.Step(0));  // store 1
+  // Parked peer is auto-acked: the flush retires directly.
+  EXPECT_TRUE(kernel.Step(0));
+  EXPECT_EQ(kernel.trace().back().op, Op::kTlbFlush);
+}
+
+TEST(TlbFlushTest, PeerParkedAfterBroadcastAcks) {
+  KernelImage image = MakeImage();
+  KernelSim kernel(&image, {{"mm", 0, 0, ThreadKind::kSyscall},
+                            {"peer", 1, 0, ThreadKind::kSyscall}});
+  ASSERT_TRUE(kernel.Step(0));
+  ASSERT_TRUE(kernel.Step(0));
+  EXPECT_FALSE(kernel.Step(0));  // waiting on peer
+  kernel.Park(1);                // hypervisor parks the peer -> trampoline ack
+  EXPECT_TRUE(kernel.thread(0).runnable());
+  EXPECT_TRUE(kernel.Step(0));
+  EXPECT_EQ(kernel.trace().back().op, Op::kTlbFlush);
+}
+
+TEST(TlbFlushTest, RunsToCompletionUnderEveryPolicyOrder) {
+  KernelImage image = MakeImage();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    KernelSim kernel(&image, {{"mm", 0, 0, ThreadKind::kSyscall},
+                              {"peer", 1, 0, ThreadKind::kSyscall}});
+    RandomPolicy policy(seed);
+    RunResult r = RunToCompletion(kernel, policy);
+    EXPECT_FALSE(r.failed()) << "seed " << seed << ": " << r.failure->ToString();
+    EXPECT_TRUE(r.all_exited) << "seed " << seed;
+  }
+}
+
+TEST(TlbFlushTest, EnforcedScheduleSurvivesFlushAgainstParkedThread) {
+  // The end-to-end §4.4 property: a preemption schedule that parks the peer
+  // while the other side flushes the TLB must still finish (the parked
+  // thread acks from the trampoline instead of wedging the schedule).
+  KernelImage image = MakeImage();
+  std::vector<ThreadSpec> threads = {{"mm", 0, 0, ThreadKind::kSyscall},
+                                     {"peer", 1, 0, ThreadKind::kSyscall}};
+  Enforcer enforcer(&image);
+  PreemptionSchedule schedule;
+  schedule.base_order = {1, 0};
+  // Park the peer right after its first store; mm then runs and flushes.
+  schedule.points = {{DynInstr{1, {1, 1}, 0}, false, kNoThread}};
+  EnforceResult er = enforcer.RunPreemption(threads, schedule);
+  EXPECT_FALSE(er.run.failure.has_value());
+  EXPECT_TRUE(er.run.all_exited);
+  bool flushed = false;
+  for (const ExecEvent& e : er.run.trace) {
+    flushed = flushed || e.op == Op::kTlbFlush;
+  }
+  EXPECT_TRUE(flushed);
+}
+
+TEST(TlbFlushTest, LockSpinnerAcks) {
+  KernelImage image;
+  Addr lock = image.AddGlobal("lock", 0);
+  {
+    ProgramBuilder p("holder_flush");
+    p.Lea(R1, lock).Lock(R1).TlbFlush().Unlock(R1).Exit();
+    image.AddProgram(p.Build());
+  }
+  {
+    ProgramBuilder p("acquirer");
+    p.Lea(R1, lock).Lock(R1).Unlock(R1).Exit();
+    image.AddProgram(p.Build());
+  }
+  KernelSim kernel(&image, {{"holder", 0, 0, ThreadKind::kSyscall},
+                            {"acq", 1, 0, ThreadKind::kSyscall}});
+  // Holder takes the lock; acquirer spins; holder's flush must not deadlock
+  // against the spinning acquirer.
+  ASSERT_TRUE(kernel.Step(0));   // lea
+  ASSERT_TRUE(kernel.Step(0));   // lock
+  ASSERT_TRUE(kernel.Step(1));   // lea
+  EXPECT_FALSE(kernel.Step(1));  // lock -> spins (blocked)
+  EXPECT_TRUE(kernel.Step(0));   // tlb flush retires: spinner auto-acked
+  EXPECT_EQ(kernel.trace().back().op, Op::kTlbFlush);
+}
+
+}  // namespace
+}  // namespace aitia

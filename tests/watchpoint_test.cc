@@ -1,0 +1,91 @@
+// Unit tests for the watchpoint surface (src/hv/watchpoint).
+
+#include <gtest/gtest.h>
+
+#include "src/hv/watchpoint.h"
+
+namespace aitia {
+namespace {
+
+ExecEvent Access(ThreadId tid, Addr addr, bool write, Addr len = 1) {
+  ExecEvent e;
+  e.di = {tid, {0, 0}, 0};
+  e.is_access = true;
+  e.is_write = write;
+  e.addr = addr;
+  e.len = len;
+  return e;
+}
+
+TEST(WatchpointTest, TripsOnConflictingAccessFromOtherThread) {
+  Watchpoints wps;
+  wps.Arm({0, {0, 5}, 0}, 0x100, 1, /*owner_is_write=*/false);
+  wps.Observe(Access(1, 0x100, /*write=*/true));
+  ASSERT_EQ(wps.hits().size(), 1u);
+  EXPECT_EQ(wps.hits()[0].owner.tid, 0);
+  EXPECT_EQ(wps.hits()[0].access.di.tid, 1);
+}
+
+TEST(WatchpointTest, IgnoresOwnerThread) {
+  Watchpoints wps;
+  wps.Arm({0, {0, 5}, 0}, 0x100, 1, true);
+  wps.Observe(Access(0, 0x100, true));
+  EXPECT_TRUE(wps.hits().empty());
+}
+
+TEST(WatchpointTest, ReadReadDoesNotTrip) {
+  Watchpoints wps;
+  wps.Arm({0, {0, 5}, 0}, 0x100, 1, /*owner_is_write=*/false);
+  wps.Observe(Access(1, 0x100, /*write=*/false));
+  EXPECT_TRUE(wps.hits().empty());
+}
+
+TEST(WatchpointTest, WriteOwnerTripsOnRemoteRead) {
+  Watchpoints wps;
+  wps.Arm({0, {0, 5}, 0}, 0x100, 1, /*owner_is_write=*/true);
+  wps.Observe(Access(1, 0x100, /*write=*/false));
+  EXPECT_EQ(wps.hits().size(), 1u);
+}
+
+TEST(WatchpointTest, RangeOverlapSemantics) {
+  Watchpoints wps;
+  // Watch a whole 4-cell object (a free's range).
+  wps.Arm({0, {0, 5}, 0}, 0x100, 4, true);
+  wps.Observe(Access(1, 0x103, false));  // last cell: hit
+  wps.Observe(Access(1, 0x104, true));   // one past: miss
+  wps.Observe(Access(1, 0x0ff, true));   // one before: miss
+  ASSERT_EQ(wps.hits().size(), 1u);
+  EXPECT_EQ(wps.hits()[0].access.addr, 0x103u);
+}
+
+TEST(WatchpointTest, NonAccessEventsIgnored) {
+  Watchpoints wps;
+  wps.Arm({0, {0, 5}, 0}, 0x100, 1, true);
+  ExecEvent e;
+  e.di = {1, {0, 0}, 0};
+  e.is_access = false;
+  e.addr = 0x100;
+  wps.Observe(e);
+  EXPECT_TRUE(wps.hits().empty());
+}
+
+TEST(WatchpointTest, DisarmStopsTripping) {
+  Watchpoints wps;
+  DynInstr owner{0, {0, 5}, 0};
+  wps.Arm(owner, 0x100, 1, true);
+  wps.Disarm(owner);
+  wps.Observe(Access(1, 0x100, true));
+  EXPECT_TRUE(wps.hits().empty());
+}
+
+TEST(WatchpointTest, MultipleArmedWatchpointsAllTrip) {
+  Watchpoints wps;
+  wps.Arm({0, {0, 1}, 0}, 0x100, 1, true);
+  wps.Arm({0, {0, 2}, 0}, 0x200, 1, true);
+  wps.Observe(Access(1, 0x100, false));
+  wps.Observe(Access(1, 0x200, false));
+  EXPECT_EQ(wps.hits().size(), 2u);
+}
+
+}  // namespace
+}  // namespace aitia
