@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conciseness.dir/bench/bench_conciseness.cc.o"
+  "CMakeFiles/bench_conciseness.dir/bench/bench_conciseness.cc.o.d"
+  "bench/bench_conciseness"
+  "bench/bench_conciseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conciseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

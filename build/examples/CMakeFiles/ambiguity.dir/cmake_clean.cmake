@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambiguity.dir/ambiguity.cpp.o"
+  "CMakeFiles/ambiguity.dir/ambiguity.cpp.o.d"
+  "ambiguity"
+  "ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

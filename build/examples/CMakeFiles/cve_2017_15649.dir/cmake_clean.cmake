@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_2017_15649.dir/cve_2017_15649.cpp.o"
+  "CMakeFiles/cve_2017_15649.dir/cve_2017_15649.cpp.o.d"
+  "cve_2017_15649"
+  "cve_2017_15649.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_2017_15649.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

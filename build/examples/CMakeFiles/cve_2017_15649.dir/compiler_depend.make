@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cve_2017_15649.
+# This may be replaced when dependencies are built.

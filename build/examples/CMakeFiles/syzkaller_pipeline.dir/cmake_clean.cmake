@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syzkaller_pipeline.dir/syzkaller_pipeline.cpp.o"
+  "CMakeFiles/syzkaller_pipeline.dir/syzkaller_pipeline.cpp.o.d"
+  "syzkaller_pipeline"
+  "syzkaller_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syzkaller_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

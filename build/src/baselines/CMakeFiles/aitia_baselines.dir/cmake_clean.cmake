@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_baselines.dir/coop.cc.o"
+  "CMakeFiles/aitia_baselines.dir/coop.cc.o.d"
+  "CMakeFiles/aitia_baselines.dir/inflection.cc.o"
+  "CMakeFiles/aitia_baselines.dir/inflection.cc.o.d"
+  "CMakeFiles/aitia_baselines.dir/muvi.cc.o"
+  "CMakeFiles/aitia_baselines.dir/muvi.cc.o.d"
+  "CMakeFiles/aitia_baselines.dir/racecount.cc.o"
+  "CMakeFiles/aitia_baselines.dir/racecount.cc.o.d"
+  "libaitia_baselines.a"
+  "libaitia_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

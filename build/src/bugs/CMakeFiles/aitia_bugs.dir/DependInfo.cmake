@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bugs/abstract/ext_irq.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/ext_irq.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/ext_irq.cc.o.d"
+  "/root/repo/src/bugs/abstract/fig1.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig1.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig1.cc.o.d"
+  "/root/repo/src/bugs/abstract/fig4.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig4.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig4.cc.o.d"
+  "/root/repo/src/bugs/abstract/fig5.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig5.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig5.cc.o.d"
+  "/root/repo/src/bugs/abstract/fig7.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig7.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/abstract/fig7.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2016_10200.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2016_10200.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2016_10200.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2016_8655.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2016_8655.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2016_8655.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2017_10661.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_10661.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_10661.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2017_15649.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_15649.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_15649.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2017_2636.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_2636.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_2636.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2017_2671.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_2671.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_2671.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2017_7533.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_7533.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2017_7533.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2018_12232.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2018_12232.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2018_12232.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2019_11486.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2019_11486.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2019_11486.cc.o.d"
+  "/root/repo/src/bugs/cve/cve_2019_6974.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2019_6974.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/cve/cve_2019_6974.cc.o.d"
+  "/root/repo/src/bugs/diagnose.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/diagnose.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/diagnose.cc.o.d"
+  "/root/repo/src/bugs/registry.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/registry.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/registry.cc.o.d"
+  "/root/repo/src/bugs/scenario.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/scenario.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/scenario.cc.o.d"
+  "/root/repo/src/bugs/syz/syz01_l2tp_oob.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz01_l2tp_oob.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz01_l2tp_oob.cc.o.d"
+  "/root/repo/src/bugs/syz/syz02_packet_assert.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz02_packet_assert.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz02_packet_assert.cc.o.d"
+  "/root/repo/src/bugs/syz/syz03_pppol2tp_uaf.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz03_pppol2tp_uaf.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz03_pppol2tp_uaf.cc.o.d"
+  "/root/repo/src/bugs/syz/syz04_kvm_irqfd.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz04_kvm_irqfd.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz04_kvm_irqfd.cc.o.d"
+  "/root/repo/src/bugs/syz/syz05_rxrpc_uaf.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz05_rxrpc_uaf.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz05_rxrpc_uaf.cc.o.d"
+  "/root/repo/src/bugs/syz/syz06_bpf_gpf.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz06_bpf_gpf.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz06_bpf_gpf.cc.o.d"
+  "/root/repo/src/bugs/syz/syz07_block_uaf.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz07_block_uaf.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz07_block_uaf.cc.o.d"
+  "/root/repo/src/bugs/syz/syz08_j1939_refcount.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz08_j1939_refcount.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz08_j1939_refcount.cc.o.d"
+  "/root/repo/src/bugs/syz/syz09_seccomp_leak.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz09_seccomp_leak.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz09_seccomp_leak.cc.o.d"
+  "/root/repo/src/bugs/syz/syz10_md_assert.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz10_md_assert.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz10_md_assert.cc.o.d"
+  "/root/repo/src/bugs/syz/syz11_floppy_assert.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz11_floppy_assert.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz11_floppy_assert.cc.o.d"
+  "/root/repo/src/bugs/syz/syz12_bluetooth_sco.cc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz12_bluetooth_sco.cc.o" "gcc" "src/bugs/CMakeFiles/aitia_bugs.dir/syz/syz12_bluetooth_sco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aitia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/aitia_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aitia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aitia_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/aitia_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aitia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

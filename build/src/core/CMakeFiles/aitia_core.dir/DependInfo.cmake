@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aitia.cc" "src/core/CMakeFiles/aitia_core.dir/aitia.cc.o" "gcc" "src/core/CMakeFiles/aitia_core.dir/aitia.cc.o.d"
+  "/root/repo/src/core/causality.cc" "src/core/CMakeFiles/aitia_core.dir/causality.cc.o" "gcc" "src/core/CMakeFiles/aitia_core.dir/causality.cc.o.d"
+  "/root/repo/src/core/chain.cc" "src/core/CMakeFiles/aitia_core.dir/chain.cc.o" "gcc" "src/core/CMakeFiles/aitia_core.dir/chain.cc.o.d"
+  "/root/repo/src/core/lifs.cc" "src/core/CMakeFiles/aitia_core.dir/lifs.cc.o" "gcc" "src/core/CMakeFiles/aitia_core.dir/lifs.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/aitia_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/aitia_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/aitia_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aitia_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aitia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aitia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

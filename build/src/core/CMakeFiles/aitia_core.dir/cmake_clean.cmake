@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_core.dir/aitia.cc.o"
+  "CMakeFiles/aitia_core.dir/aitia.cc.o.d"
+  "CMakeFiles/aitia_core.dir/causality.cc.o"
+  "CMakeFiles/aitia_core.dir/causality.cc.o.d"
+  "CMakeFiles/aitia_core.dir/chain.cc.o"
+  "CMakeFiles/aitia_core.dir/chain.cc.o.d"
+  "CMakeFiles/aitia_core.dir/lifs.cc.o"
+  "CMakeFiles/aitia_core.dir/lifs.cc.o.d"
+  "CMakeFiles/aitia_core.dir/report.cc.o"
+  "CMakeFiles/aitia_core.dir/report.cc.o.d"
+  "libaitia_core.a"
+  "libaitia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

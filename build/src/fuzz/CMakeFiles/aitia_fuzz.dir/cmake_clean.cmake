@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_fuzz.dir/fuzzer.cc.o"
+  "CMakeFiles/aitia_fuzz.dir/fuzzer.cc.o.d"
+  "libaitia_fuzz.a"
+  "libaitia_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

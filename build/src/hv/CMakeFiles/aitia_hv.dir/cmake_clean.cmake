@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_hv.dir/enforcer.cc.o"
+  "CMakeFiles/aitia_hv.dir/enforcer.cc.o.d"
+  "libaitia_hv.a"
+  "libaitia_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

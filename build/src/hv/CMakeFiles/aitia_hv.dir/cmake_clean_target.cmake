@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaitia_hv.a"
+)

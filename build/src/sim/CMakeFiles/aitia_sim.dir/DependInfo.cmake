@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/builder.cc" "src/sim/CMakeFiles/aitia_sim.dir/builder.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/builder.cc.o.d"
+  "/root/repo/src/sim/failure.cc" "src/sim/CMakeFiles/aitia_sim.dir/failure.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/failure.cc.o.d"
+  "/root/repo/src/sim/hb.cc" "src/sim/CMakeFiles/aitia_sim.dir/hb.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/hb.cc.o.d"
+  "/root/repo/src/sim/instr.cc" "src/sim/CMakeFiles/aitia_sim.dir/instr.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/instr.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/aitia_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/aitia_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/policy.cc" "src/sim/CMakeFiles/aitia_sim.dir/policy.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/policy.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/sim/CMakeFiles/aitia_sim.dir/program.cc.o" "gcc" "src/sim/CMakeFiles/aitia_sim.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aitia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

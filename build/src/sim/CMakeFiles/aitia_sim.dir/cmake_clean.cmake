@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_sim.dir/builder.cc.o"
+  "CMakeFiles/aitia_sim.dir/builder.cc.o.d"
+  "CMakeFiles/aitia_sim.dir/failure.cc.o"
+  "CMakeFiles/aitia_sim.dir/failure.cc.o.d"
+  "CMakeFiles/aitia_sim.dir/hb.cc.o"
+  "CMakeFiles/aitia_sim.dir/hb.cc.o.d"
+  "CMakeFiles/aitia_sim.dir/instr.cc.o"
+  "CMakeFiles/aitia_sim.dir/instr.cc.o.d"
+  "CMakeFiles/aitia_sim.dir/kernel.cc.o"
+  "CMakeFiles/aitia_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/aitia_sim.dir/memory.cc.o"
+  "CMakeFiles/aitia_sim.dir/memory.cc.o.d"
+  "CMakeFiles/aitia_sim.dir/policy.cc.o"
+  "CMakeFiles/aitia_sim.dir/policy.cc.o.d"
+  "CMakeFiles/aitia_sim.dir/program.cc.o"
+  "CMakeFiles/aitia_sim.dir/program.cc.o.d"
+  "libaitia_sim.a"
+  "libaitia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_trace.dir/slicer.cc.o"
+  "CMakeFiles/aitia_trace.dir/slicer.cc.o.d"
+  "libaitia_trace.a"
+  "libaitia_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_util.dir/log.cc.o"
+  "CMakeFiles/aitia_util.dir/log.cc.o.d"
+  "CMakeFiles/aitia_util.dir/rng.cc.o"
+  "CMakeFiles/aitia_util.dir/rng.cc.o.d"
+  "CMakeFiles/aitia_util.dir/strings.cc.o"
+  "CMakeFiles/aitia_util.dir/strings.cc.o.d"
+  "CMakeFiles/aitia_util.dir/thread_pool.cc.o"
+  "CMakeFiles/aitia_util.dir/thread_pool.cc.o.d"
+  "libaitia_util.a"
+  "libaitia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

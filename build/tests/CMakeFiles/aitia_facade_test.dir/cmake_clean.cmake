@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aitia_facade_test.dir/aitia_facade_test.cc.o"
+  "CMakeFiles/aitia_facade_test.dir/aitia_facade_test.cc.o.d"
+  "aitia_facade_test"
+  "aitia_facade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aitia_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corpus_metadata_test.cc" "tests/CMakeFiles/corpus_metadata_test.dir/corpus_metadata_test.cc.o" "gcc" "tests/CMakeFiles/corpus_metadata_test.dir/corpus_metadata_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aitia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugs/CMakeFiles/aitia_bugs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/aitia_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aitia_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/aitia_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aitia_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aitia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aitia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

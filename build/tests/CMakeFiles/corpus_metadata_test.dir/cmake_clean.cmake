@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_metadata_test.dir/corpus_metadata_test.cc.o"
+  "CMakeFiles/corpus_metadata_test.dir/corpus_metadata_test.cc.o.d"
+  "corpus_metadata_test"
+  "corpus_metadata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enforcer_test.dir/enforcer_test.cc.o"
+  "CMakeFiles/enforcer_test.dir/enforcer_test.cc.o.d"
+  "enforcer_test"
+  "enforcer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enforcer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

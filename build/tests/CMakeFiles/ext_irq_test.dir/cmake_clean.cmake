@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_irq_test.dir/ext_irq_test.cc.o"
+  "CMakeFiles/ext_irq_test.dir/ext_irq_test.cc.o.d"
+  "ext_irq_test"
+  "ext_irq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_irq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifs_test.dir/lifs_test.cc.o"
+  "CMakeFiles/lifs_test.dir/lifs_test.cc.o.d"
+  "lifs_test"
+  "lifs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

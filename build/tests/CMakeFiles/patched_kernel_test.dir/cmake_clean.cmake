@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patched_kernel_test.dir/patched_kernel_test.cc.o"
+  "CMakeFiles/patched_kernel_test.dir/patched_kernel_test.cc.o.d"
+  "patched_kernel_test"
+  "patched_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patched_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

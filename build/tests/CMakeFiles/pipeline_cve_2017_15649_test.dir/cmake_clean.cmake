@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_cve_2017_15649_test.dir/pipeline_cve_2017_15649_test.cc.o"
+  "CMakeFiles/pipeline_cve_2017_15649_test.dir/pipeline_cve_2017_15649_test.cc.o.d"
+  "pipeline_cve_2017_15649_test"
+  "pipeline_cve_2017_15649_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_cve_2017_15649_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_fig1_test.dir/pipeline_fig1_test.cc.o"
+  "CMakeFiles/pipeline_fig1_test.dir/pipeline_fig1_test.cc.o.d"
+  "pipeline_fig1_test"
+  "pipeline_fig1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_fig1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

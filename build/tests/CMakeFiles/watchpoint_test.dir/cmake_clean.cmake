@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchpoint_test.dir/watchpoint_test.cc.o"
+  "CMakeFiles/watchpoint_test.dir/watchpoint_test.cc.o.d"
+  "watchpoint_test"
+  "watchpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
