@@ -14,15 +14,29 @@ std::string AitiaReport::Render(const KernelImage& image) const {
     out += "AITIA: failure NOT reproduced";
     out += StrFormat(" (%zu slice(s) tried, %lld schedules)\n", slices_tried,
                      static_cast<long long>(lifs.schedules_executed));
+    if (!status.ok()) {
+      out += "status     : " + status.ToString() + "\n";
+    }
     return out;
   }
   out += "=== AITIA diagnosis ===\n";
+  if (degraded) {
+    out += "*** DEGRADED: parts of the diagnosis exhausted their run budget ***\n";
+  }
   out += "failure    : " + lifs.failure->ToString() + "\n";
   out += StrFormat("LIFS       : reproduced with %d interleaving(s), %lld schedule(s), %.3fs\n",
                    lifs.interleaving_count,
                    static_cast<long long>(lifs.schedules_executed), lifs.seconds);
+  if (lifs.aborted_runs > 0) {
+    out += StrFormat("             %lld run(s) lost to supervision [%s]\n",
+                     static_cast<long long>(lifs.aborted_runs),
+                     lifs.budget.ToString().c_str());
+  }
   out += StrFormat("Causality  : %lld flip test(s), %.3fs\n",
                    static_cast<long long>(causality.schedules_executed), causality.seconds);
+  if (causality.budget.retries > 0 || causality.budget.exhausted > 0) {
+    out += "             supervision: " + causality.budget.ToString() + "\n";
+  }
   out += "\nfailure-causing instruction sequence (memory accesses):\n";
   for (const ExecEvent& e : lifs.failing_run.trace) {
     if (!e.is_access) {
@@ -33,13 +47,41 @@ std::string AitiaReport::Render(const KernelImage& image) const {
   }
   out += "\ntested data races (backward):\n";
   for (const TestedRace& t : causality.tested) {
-    out += StrFormat("  %-28s %-12s%s%s\n", RaceLabel(image, t.race).c_str(),
+    out += StrFormat("  %-28s %-12s%s%s%s\n", RaceLabel(image, t.race).c_str(),
                      RaceVerdictName(t.verdict), t.phantom ? " [phantom]" : "",
-                     t.race.cs_pair ? " [critical-section]" : "");
+                     t.race.cs_pair ? " [critical-section]" : "",
+                     t.run_status.ok() ? "" : " [run budget exhausted]");
+  }
+  if (!causality.inconclusive_indices.empty()) {
+    out += "\ninconclusive flip tests (budget exhausted after retries; these races\n"
+           "are UNCLASSIFIED, not benign):\n";
+    for (size_t i : causality.inconclusive_indices) {
+      const TestedRace& t = causality.tested[i];
+      out += StrFormat("  %-28s %s\n", RaceLabel(image, t.race).c_str(),
+                       t.run_status.ToString().c_str());
+    }
   }
   out += "\ncausality chain:\n  " + causality.chain.Render(image) + "\n";
   return out;
 }
+
+namespace {
+
+// Folds stage-level health into the report: LIFS aborts or inconclusive flip
+// tests mark the report degraded, and a search cut short surfaces as the
+// report status so "NOT reproduced" is distinguishable from "ran out of
+// budget while trying".
+void FinalizeReport(AitiaReport& report) {
+  if (report.causality.degraded || report.lifs.aborted_runs > 0) {
+    report.degraded = true;
+  }
+  if (!report.lifs.status.ok()) {
+    report.status = report.lifs.status;
+    report.degraded = true;
+  }
+}
+
+}  // namespace
 
 AitiaReport DiagnoseSlice(const KernelImage& image, const std::vector<ThreadSpec>& slice,
                           const std::vector<ThreadSpec>& setup, const AitiaOptions& options) {
@@ -51,11 +93,13 @@ AitiaReport DiagnoseSlice(const KernelImage& image, const std::vector<ThreadSpec
   Lifs lifs(&image, slice, setup, options.lifs);
   report.lifs = lifs.Run();
   if (!report.lifs.reproduced) {
+    FinalizeReport(report);
     return report;
   }
   CausalityAnalysis ca(&image, slice, setup, &report.lifs, options.causality);
   report.causality = ca.Run();
   report.diagnosed = true;
+  FinalizeReport(report);
   return report;
 }
 
@@ -90,6 +134,7 @@ AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& hi
                              slice_options.causality);
         report.causality = ca.Run();
         report.diagnosed = true;
+        FinalizeReport(report);
         return report;
       }
     }
@@ -101,6 +146,12 @@ AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& hi
     Lifs lifs(&image, slice.threads, slice.setup, slice_options.lifs);
     LifsResult result = lifs.Run();
     if (!result.reproduced) {
+      // Remember why the most recent attempt came up empty; budget-cut
+      // searches must not read as clean non-reproduction.
+      if (!result.status.ok()) {
+        report.status = result.status;
+        report.degraded = true;
+      }
       continue;
     }
     report.used_slice = slice;
@@ -109,6 +160,7 @@ AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& hi
                          slice_options.causality);
     report.causality = ca.Run();
     report.diagnosed = true;
+    FinalizeReport(report);
     return report;
   }
   return report;

@@ -38,6 +38,13 @@ struct AitiaOptions {
 
 struct AitiaReport {
   bool diagnosed = false;
+  // True when the diagnosis is partial: at least one flip test exhausted its
+  // run budget (verdict kInconclusive) or the reproducing stage was cut
+  // short. The chain is still valid for the races that were classified.
+  bool degraded = false;
+  // Pipeline-level health; non-ok explains a false `diagnosed` that was due
+  // to budget/deadline exhaustion rather than genuine non-reproduction.
+  Status status;
   size_t slices_tried = 0;
   Slice used_slice;
   LifsResult lifs;

@@ -259,14 +259,23 @@ CausalityResult CausalityAnalysis::Run() {
   });
 
   // Flip tests are independent deterministic runs; execute them on the
-  // diagnoser pool.
+  // diagnoser pool under supervision. The nonce is the test index, so fault
+  // and retry streams are stable regardless of worker interleaving.
+  SupervisorOptions so = options_.supervisor;
+  so.max_steps = options_.max_steps_per_run;
+  Supervisor supervisor(image_, so);
   std::vector<RunResult> flip_runs(items.size());
+  std::vector<Status> flip_status(items.size());
   auto test_one = [&](size_t i) {
-    Enforcer enforcer(image_);
     TotalOrderSchedule flip = BuildFlip(items[i]);
-    EnforceResult er =
-        enforcer.RunTotalOrder(slice_, flip, setup_, options_.max_steps_per_run);
-    flip_runs[i] = std::move(er.run);
+    StatusOr<EnforceResult> er =
+        supervisor.RunTotalOrder(slice_, flip, setup_, static_cast<uint64_t>(i));
+    if (er.ok()) {
+      flip_status[i] = er->status;
+      flip_runs[i] = std::move(er->run);
+    } else {
+      flip_status[i] = er.status();
+    }
   };
   if (options_.workers > 1 && items.size() > 1) {
     ThreadPool pool(options_.workers);
@@ -277,6 +286,7 @@ CausalityResult CausalityAnalysis::Run() {
     }
   }
   result.schedules_executed = static_cast<int64_t>(items.size());
+  result.budget = supervisor.budget();
 
   // Verdicts.
   const Failure& symptom = *lifs_->failure;
@@ -286,7 +296,20 @@ CausalityResult CausalityAnalysis::Run() {
     t.race = items[i].race;
     t.phantom = items[i].phantom;
     t.nested = NestedOf(items, i);
+    t.run_status = flip_status[i];
     const RunResult& run = flip_runs[i];
+
+    // Graceful degradation: a flip run that was lost (retries exhausted) or
+    // cut short (step budget / deadline / watchdog) yields no verdict. It is
+    // reported kInconclusive — never benign or root-cause, both of which
+    // would be fabricated from a partial run — and taints no other test.
+    if (!t.run_status.ok()) {
+      t.verdict = RaceVerdict::kInconclusive;
+      ++result.inconclusive_count;
+      result.inconclusive_indices.push_back(i);
+      result.degraded = true;
+      continue;
+    }
 
     const bool still_original_order = OccurredInOrder(items[i].race, run);
     t.flip_took_effect = !still_original_order;

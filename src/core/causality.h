@@ -27,6 +27,8 @@
 #include "src/core/chain.h"
 #include "src/core/lifs.h"
 #include "src/hv/enforcer.h"
+#include "src/hv/supervisor.h"
+#include "src/util/status.h"
 
 namespace aitia {
 
@@ -35,12 +37,16 @@ struct CausalityOptions {
   size_t max_tests = 256;
   // Number of parallel diagnoser workers; 0 or 1 runs serially.
   size_t workers = 1;
+  // Supervised execution of flip tests: deadline, watchdog, retries, fault
+  // plan. `supervisor.max_steps` is overridden by max_steps_per_run. A flip
+  // test that fails every attempt is reported kInconclusive — never benign.
+  SupervisorOptions supervisor;
 };
 
 enum class RaceVerdict {
   kRootCause,     // flip prevented the failure
   kBenign,        // flip left the failure intact
-  kInconclusive,  // flip could not be enforced (pair still ran in order)
+  kInconclusive,  // flip not enforceable, or the run budget was exhausted
   kAmbiguous,     // root cause, but entangled with a nested root cause
 };
 
@@ -50,6 +56,9 @@ struct TestedRace {
   RacePair race;
   bool phantom = false;
   RaceVerdict verdict = RaceVerdict::kBenign;
+  // Health of the flip run: non-ok when supervision exhausted its attempts
+  // (deadline, livelock, lost run) and the verdict is kInconclusive.
+  Status run_status;
   bool flip_still_failed = false;
   bool flip_took_effect = false;
   // Indices (into CausalityResult::tested) of races that did not occur in
@@ -62,11 +71,20 @@ struct TestedRace {
 struct CausalityResult {
   std::vector<TestedRace> tested;  // backward order (latest race first)
   std::vector<size_t> root_cause_indices;
+  // Flip tests whose run budget was exhausted (verdict kInconclusive with a
+  // non-ok run_status) — the report must surface these as unclassified.
+  std::vector<size_t> inconclusive_indices;
   CausalityChain chain;
   int64_t schedules_executed = 0;
+  // Supervision accounting across all flip tests.
+  RunBudget budget;
   double seconds = 0;
   int benign_count = 0;
+  int inconclusive_count = 0;
   bool ambiguous = false;
+  // True when at least one flip test could not be completed: the diagnosis
+  // is usable but partial, and the report says so.
+  bool degraded = false;
 };
 
 class CausalityAnalysis {

@@ -11,6 +11,15 @@
 #include "src/util/strings.h"
 
 namespace aitia {
+namespace {
+
+SupervisorOptions LifsSupervisorOptions(const LifsOptions& options) {
+  SupervisorOptions so = options.supervisor;
+  so.max_steps = options.max_steps_per_run;
+  return so;
+}
+
+}  // namespace
 
 Lifs::Lifs(const KernelImage* image, std::vector<ThreadSpec> slice,
            std::vector<ThreadSpec> setup, LifsOptions options)
@@ -18,7 +27,22 @@ Lifs::Lifs(const KernelImage* image, std::vector<ThreadSpec> slice,
       slice_(std::move(slice)),
       setup_(std::move(setup)),
       options_(options),
-      enforcer_(image) {}
+      supervisor_(image, LifsSupervisorOptions(options)) {}
+
+bool Lifs::SearchCutShort() {
+  if (!result_.status.ok()) {
+    return true;
+  }
+  if (result_.schedules_executed >= options_.max_schedules) {
+    return true;
+  }
+  if (options_.search_deadline_seconds > 0 &&
+      search_watch_.ElapsedSeconds() > options_.search_deadline_seconds) {
+    result_.status = Status::DeadlineExceeded("LIFS search exceeded wall-clock deadline");
+    return true;
+  }
+  return false;
+}
 
 bool Lifs::MatchesTarget(const std::optional<Failure>& failure) const {
   if (!failure.has_value()) {
@@ -103,15 +127,24 @@ std::vector<Lifs::KnownAccess> Lifs::ConflictCandidates() const {
 }
 
 bool Lifs::Execute(const PreemptionSchedule& schedule, int interleavings) {
-  if (result_.schedules_executed >= options_.max_schedules) {
+  if (SearchCutShort()) {
     return false;
   }
   if (!tried_schedules_.insert(schedule.ToString()).second) {
     return false;  // exact schedule already run
   }
-  EnforceResult er =
-      enforcer_.RunPreemption(slice_, schedule, setup_, options_.max_steps_per_run);
+  StatusOr<EnforceResult> supervised = supervisor_.RunPreemption(
+      slice_, schedule, setup_, static_cast<uint64_t>(result_.schedules_executed));
   ++result_.schedules_executed;
+  if (!supervised.ok()) {
+    // The run was lost after every retry (deadline, livelock, injected
+    // fault). Nothing usable was observed; skip the schedule and move on —
+    // LIFS completeness degrades gracefully instead of crashing or learning
+    // from a corrupt partial trace.
+    ++result_.aborted_runs;
+    return false;
+  }
+  EnforceResult& er = *supervised;
   Learn(er.run);
 
   std::string fp;
@@ -203,6 +236,13 @@ void Lifs::FinalizeFailingRun(const RunResult& run, const PreemptionSchedule& sc
 }
 
 LifsResult Lifs::Run() {
+  search_watch_.Reset();
+  RunSearch();
+  result_.budget = supervisor_.budget();
+  return result_;
+}
+
+LifsResult Lifs::RunSearch() {
   Stopwatch watch;
   // Discover the concurrent thread ids (setup threads occupy lower ids).
   std::vector<ThreadId> tids;
@@ -268,7 +308,7 @@ LifsResult Lifs::Run() {
     // Knowledge can grow while exploring depth k (race-steered control
     // flows); regenerate candidates until a full pass adds nothing new.
     for (;;) {
-      if (result_.schedules_executed >= options_.max_schedules) {
+      if (SearchCutShort()) {
         result_.seconds = watch.ElapsedSeconds();
         return result_;
       }
@@ -317,7 +357,7 @@ LifsResult Lifs::Run() {
           points.push_back(decode_point(e));
         }
         for (const auto& perm : perms) {
-          if (result_.schedules_executed >= options_.max_schedules) {
+          if (SearchCutShort()) {
             exhausted = true;
             return false;
           }

@@ -30,8 +30,11 @@
 #include <vector>
 
 #include "src/hv/enforcer.h"
+#include "src/hv/supervisor.h"
 #include "src/sim/hb.h"
 #include "src/sim/kernel.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
 
 namespace aitia {
 
@@ -51,6 +54,12 @@ struct LifsOptions {
   int64_t max_steps_per_run = 200000;
   // Record every explored schedule (Figure 5 benchmarks).
   bool keep_explored = false;
+  // Supervised execution: per-run deadline, livelock watchdog, retries, and
+  // fault plan. `supervisor.max_steps` is overridden by max_steps_per_run.
+  SupervisorOptions supervisor;
+  // Wall-clock deadline for the whole search; 0 disables. On expiry the
+  // search stops with result.status = kDeadlineExceeded (not reproduced).
+  double search_deadline_seconds = 0;
 };
 
 struct ExploredSchedule {
@@ -83,6 +92,13 @@ struct LifsResult {
   int interleaving_count = 0;
   int64_t schedules_executed = 0;
   int64_t schedules_pruned = 0;  // skipped as equivalent before running
+  // Non-ok when the search was cut short (search deadline); `reproduced`
+  // stays the primary signal — status explains *why* it is false.
+  Status status;
+  // Runs lost to supervision (every attempt failed); the search skips them.
+  int64_t aborted_runs = 0;
+  // Supervision accounting across all runs of this search.
+  RunBudget budget;
   double seconds = 0;
   std::vector<ThreadId> slice_tids;
   std::vector<ExploredSchedule> explored;  // populated iff keep_explored
@@ -113,11 +129,17 @@ class Lifs {
   void FinalizeFailingRun(const RunResult& run, const PreemptionSchedule& schedule,
                           int interleavings);
 
+  // True when the search must stop (schedule budget or search deadline).
+  bool SearchCutShort();
+  // The search proper; Run() wraps it to finalize budget accounting.
+  LifsResult RunSearch();
+
   const KernelImage* image_;
   std::vector<ThreadSpec> slice_;
   std::vector<ThreadSpec> setup_;
   LifsOptions options_;
-  Enforcer enforcer_;
+  Supervisor supervisor_;
+  Stopwatch search_watch_;
 
   std::map<ThreadId, std::vector<KnownAccess>> knowledge_;
   std::vector<ThreadId> known_tids_;

@@ -28,6 +28,10 @@ std::string JsonEscape(const std::string& raw) {
 std::string ReportToJson(const AitiaReport& report, const KernelImage& image) {
   std::string json = "{";
   json += StrFormat("\"diagnosed\": %s", report.diagnosed ? "true" : "false");
+  json += StrFormat(", \"degraded\": %s", report.degraded ? "true" : "false");
+  if (!report.status.ok()) {
+    json += StrFormat(", \"status\": \"%s\"", JsonEscape(report.status.ToString()).c_str());
+  }
   json += StrFormat(", \"slices_tried\": %zu", report.slices_tried);
 
   if (report.lifs.failure.has_value()) {
@@ -50,12 +54,22 @@ std::string ReportToJson(const AitiaReport& report, const KernelImage& image) {
     return json + "}";
   }
 
+  const RunBudget& budget = report.causality.budget;
   json += StrFormat(
-      ", \"causality\": {\"schedules\": %lld, \"benign\": %d, \"ambiguous\": %s, "
-      "\"seconds\": %.6f}",
+      ", \"causality\": {\"schedules\": %lld, \"benign\": %d, \"inconclusive\": %d, "
+      "\"ambiguous\": %s, \"degraded\": %s, \"seconds\": %.6f, "
+      "\"budget\": {\"attempts\": %lld, \"retries\": %lld, \"exhausted\": %lld, "
+      "\"deadline_expirations\": %lld, \"watchdog_trips\": %lld, "
+      "\"injected_faults\": %lld}}",
       static_cast<long long>(report.causality.schedules_executed),
-      report.causality.benign_count, report.causality.ambiguous ? "true" : "false",
-      report.causality.seconds);
+      report.causality.benign_count, report.causality.inconclusive_count,
+      report.causality.ambiguous ? "true" : "false",
+      report.causality.degraded ? "true" : "false", report.causality.seconds,
+      static_cast<long long>(budget.attempts), static_cast<long long>(budget.retries),
+      static_cast<long long>(budget.exhausted),
+      static_cast<long long>(budget.deadline_expirations),
+      static_cast<long long>(budget.watchdog_trips),
+      static_cast<long long>(budget.injected_faults));
 
   json += ", \"races\": [";
   for (size_t i = 0; i < report.causality.tested.size(); ++i) {

@@ -1,7 +1,9 @@
 #include "src/hv/enforcer.h"
 
 #include <algorithm>
+#include <deque>
 #include <set>
+#include <string>
 
 #include "src/util/log.h"
 #include "src/util/strings.h"
@@ -29,6 +31,49 @@ ThreadId MinRankRunnable(const KernelSim& kernel, const std::vector<ThreadId>& b
     return RankOf(base_order, a) < RankOf(base_order, b);
   });
 }
+
+// How often the interrupt hook (wall-clock deadline) is polled, in steps.
+// Cheap enough to keep deadline overshoot in the microseconds.
+constexpr int64_t kInterruptPollSteps = 256;
+
+// Shared supervision bookkeeping for both run modes: interrupt polling,
+// injected run aborts, and the no-progress (livelock) watchdog.
+class RunSupervision {
+ public:
+  explicit RunSupervision(const EnforceOptions& options) : options_(options) {}
+
+  // `progress` is any monotone marker of schedule progress; `status` is set
+  // and true returned when the run must stop.
+  bool ShouldAbort(int64_t steps, int64_t progress, Status& status) {
+    if (options_.interrupt && steps % kInterruptPollSteps == 0) {
+      Status s = options_.interrupt();
+      if (!s.ok()) {
+        status = std::move(s);
+        return true;
+      }
+    }
+    if (options_.faults != nullptr && options_.faults->AbortNow(steps)) {
+      status = Status::Unavailable("fault injection: run aborted mid-flight");
+      return true;
+    }
+    if (options_.stall_limit > 0) {
+      if (progress != last_progress_) {
+        last_progress_ = progress;
+        progress_step_ = steps;
+      } else if (steps - progress_step_ > options_.stall_limit) {
+        status = Status::Aborted("watchdog: schedule made no progress for " +
+                                 std::to_string(steps - progress_step_) + " steps");
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const EnforceOptions& options_;
+  int64_t last_progress_ = -1;
+  int64_t progress_step_ = 0;
+};
 
 // Synthesizes a deadlock failure if the run stalled with blocked threads
 // (mirrors RunToCompletion's end-of-run handling).
@@ -90,16 +135,36 @@ std::string TotalOrderSchedule::ToString() const {
 EnforceResult Enforcer::RunPreemption(const std::vector<ThreadSpec>& threads,
                                       const PreemptionSchedule& schedule,
                                       const std::vector<ThreadSpec>& setup,
-                                      int64_t max_steps) {
+                                      const EnforceOptions& options) {
+  const int64_t max_steps = options.max_steps;
+  FaultInjector* faults = options.faults;
   EnforceResult result;
   KernelSim kernel(image_, threads, setup);
   Watchpoints wps;
-  kernel.set_observer([&wps](const ExecEvent& e) { wps.Observe(e); });
+
+  // Delayed watchpoint delivery (fault seam): events are buffered and fed to
+  // the observer `watchpoint_delay` retirements late, order preserved.
+  std::deque<ExecEvent> delayed;
+  const int64_t wp_delay = faults != nullptr ? faults->watchpoint_delay() : 0;
+  kernel.set_observer([&](const ExecEvent& e) {
+    if (wp_delay <= 0) {
+      wps.Observe(e);
+      return;
+    }
+    delayed.push_back(e);
+    faults->CountDelayedEvent();
+    while (static_cast<int64_t>(delayed.size()) > wp_delay) {
+      wps.Observe(delayed.front());
+      delayed.pop_front();
+    }
+  });
 
   std::vector<bool> consumed(schedule.points.size(), false);
   std::vector<ThreadId> park_fifo;
   ThreadId current = kNoThread;
   int64_t steps = 0;
+  int64_t points_fired = 0;
+  RunSupervision supervision(options);
 
   auto pick = [&]() -> ThreadId {
     ThreadId tid = MinRankRunnable(kernel, schedule.base_order);
@@ -118,6 +183,22 @@ EnforceResult Enforcer::RunPreemption(const std::vector<ThreadSpec>& threads,
   };
 
   while (!kernel.failure().has_value() && steps < max_steps) {
+    // Schedule progress = retired events + fired points; a loop of blocked
+    // steps or spurious wakeups that fires nothing eventually trips the
+    // watchdog.
+    if (supervision.ShouldAbort(
+            steps, static_cast<int64_t>(kernel.trace().size()) + points_fired,
+            result.status)) {
+      break;
+    }
+    // Spurious-wakeup fault seam: a parked thread rejoins the runnable set
+    // ahead of schedule, as a trampoline vCPU kicked by a stray IPI would.
+    if (faults != nullptr && !park_fifo.empty() && faults->SpuriousWakeup()) {
+      size_t victim = faults->PickIndex(park_fifo.size());
+      ThreadId woken = park_fifo[victim];
+      park_fifo.erase(park_fifo.begin() + static_cast<std::ptrdiff_t>(victim));
+      kernel.Unpark(woken);
+    }
     if (current == kNoThread || !kernel.thread(current).runnable()) {
       current = pick();
       if (current == kNoThread) {
@@ -135,7 +216,11 @@ EnforceResult Enforcer::RunPreemption(const std::vector<ThreadSpec>& threads,
       if (consumed[pi] || !point.before || !dyn.has_value() || !(point.after == *dyn)) {
         continue;
       }
+      if (faults != nullptr && faults->DropPreemptionPoint()) {
+        break;  // breakpoint missed: the instruction retires unparked
+      }
       consumed[pi] = true;
+      ++points_fired;
       if (auto peek = kernel.PeekAccess(current)) {
         wps.Arm(*dyn, peek->addr, peek->len, peek->is_write);
       }
@@ -169,7 +254,11 @@ EnforceResult Enforcer::RunPreemption(const std::vector<ThreadSpec>& threads,
           !(schedule.points[pi].after == *dyn)) {
         continue;
       }
+      if (faults != nullptr && faults->DropPreemptionPoint()) {
+        break;  // breakpoint missed: no park, no watchpoint
+      }
       consumed[pi] = true;
+      ++points_fired;
       // Arm a watchpoint over what the preempted instruction touched, as the
       // hypervisor does right before resuming the other thread (Figure 8).
       const ExecEvent& last = kernel.trace().back();
@@ -195,14 +284,23 @@ EnforceResult Enforcer::RunPreemption(const std::vector<ThreadSpec>& threads,
       result.unfired_points.push_back(schedule.points[pi].after);
     }
   }
-  result.run = kernel.Collect();
-  if (steps >= max_steps && !result.run.failure.has_value()) {
-    Failure f;
-    f.type = FailureType::kWatchdog;
-    f.message = "preemption schedule exceeded step budget";
-    result.run.failure = f;
+  // Late watchpoint deliveries still land before the run is scored.
+  while (!delayed.empty()) {
+    wps.Observe(delayed.front());
+    delayed.pop_front();
   }
-  AnnotateStall(kernel, result.run);
+  result.steps = steps;
+  result.run = kernel.Collect();
+  if (result.status.ok()) {
+    if (steps >= max_steps && !result.run.failure.has_value()) {
+      Failure f;
+      f.type = FailureType::kWatchdog;
+      f.message = "preemption schedule exceeded step budget";
+      result.run.failure = f;
+      result.status = Status::ResourceExhausted("step budget exhausted");
+    }
+    AnnotateStall(kernel, result.run);
+  }
   result.watch_hits = wps.hits();
   return result;
 }
@@ -210,7 +308,8 @@ EnforceResult Enforcer::RunPreemption(const std::vector<ThreadSpec>& threads,
 EnforceResult Enforcer::RunTotalOrder(const std::vector<ThreadSpec>& threads,
                                       const TotalOrderSchedule& schedule,
                                       const std::vector<ThreadSpec>& setup,
-                                      int64_t max_steps) {
+                                      const EnforceOptions& options) {
+  const int64_t max_steps = options.max_steps;
   EnforceResult result;
   KernelSim kernel(image_, threads, setup);
 
@@ -218,8 +317,15 @@ EnforceResult Enforcer::RunTotalOrder(const std::vector<ThreadSpec>& threads,
   std::set<ThreadId> injected_irqs;
   size_t i = 0;
   int64_t steps = 0;
+  RunSupervision supervision(options);
 
   while (!kernel.failure().has_value() && steps < max_steps && i < schedule.sequence.size()) {
+    // Progress = the schedule index: a liveness drain that spins a lock
+    // holder without ever unblocking the scheduled thread is a livelock the
+    // step budget alone would take orders of magnitude longer to catch.
+    if (supervision.ShouldAbort(steps, static_cast<int64_t>(i), result.status)) {
+      break;
+    }
     const DynInstr& want = schedule.sequence[i];
     if (diverged.count(want.tid) != 0) {
       result.disappeared.push_back(want);
@@ -283,33 +389,44 @@ EnforceResult Enforcer::RunTotalOrder(const std::vector<ThreadSpec>& threads,
   }
 
   // Drain phase: release parked threads and run everything to completion in
-  // base order.
-  for (ThreadId tid = 0; tid < kernel.thread_count(); ++tid) {
-    kernel.Unpark(tid);
-  }
-  while (!kernel.failure().has_value() && steps < max_steps) {
-    ThreadId tid = MinRankRunnable(kernel, schedule.base_order);
-    if (tid == kNoThread) {
-      break;
+  // base order. The stall watchdog is moot here (every drain step retires),
+  // but deadlines and injected aborts stay live.
+  if (result.status.ok()) {
+    for (ThreadId tid = 0; tid < kernel.thread_count(); ++tid) {
+      kernel.Unpark(tid);
     }
-    kernel.Step(tid);
-    ++steps;
-    // Threads spawned during the drain are already covered by MinRankRunnable.
-    for (ThreadId t2 = 0; t2 < kernel.thread_count(); ++t2) {
-      if (kernel.thread(t2).state == ThreadState::kParked) {
-        kernel.Unpark(t2);
+    while (!kernel.failure().has_value() && steps < max_steps) {
+      if (supervision.ShouldAbort(
+              steps, static_cast<int64_t>(i + kernel.trace().size()), result.status)) {
+        break;
+      }
+      ThreadId tid = MinRankRunnable(kernel, schedule.base_order);
+      if (tid == kNoThread) {
+        break;
+      }
+      kernel.Step(tid);
+      ++steps;
+      // Threads spawned during the drain are already covered by MinRankRunnable.
+      for (ThreadId t2 = 0; t2 < kernel.thread_count(); ++t2) {
+        if (kernel.thread(t2).state == ThreadState::kParked) {
+          kernel.Unpark(t2);
+        }
       }
     }
   }
 
+  result.steps = steps;
   result.run = kernel.Collect();
-  if (steps >= max_steps && !result.run.failure.has_value()) {
-    Failure f;
-    f.type = FailureType::kWatchdog;
-    f.message = "total-order schedule exceeded step budget";
-    result.run.failure = f;
+  if (result.status.ok()) {
+    if (steps >= max_steps && !result.run.failure.has_value()) {
+      Failure f;
+      f.type = FailureType::kWatchdog;
+      f.message = "total-order schedule exceeded step budget";
+      result.run.failure = f;
+      result.status = Status::ResourceExhausted("step budget exhausted");
+    }
+    AnnotateStall(kernel, result.run);
   }
-  AnnotateStall(kernel, result.run);
   return result;
 }
 

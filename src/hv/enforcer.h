@@ -9,18 +9,43 @@
 #ifndef SRC_HV_ENFORCER_H_
 #define SRC_HV_ENFORCER_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "src/hv/schedule.h"
 #include "src/hv/watchpoint.h"
+#include "src/sim/faults.h"
 #include "src/sim/kernel.h"
 #include "src/sim/thread.h"
+#include "src/util/status.h"
 
 namespace aitia {
 
+// Per-run enforcement knobs. The plain-`max_steps` overloads below cover the
+// common case; the supervisor (src/hv/supervisor.h) fills in the rest.
+struct EnforceOptions {
+  int64_t max_steps = 200000;
+  // Steps the schedule may go without making progress (a point firing, an
+  // entry retiring, or the total-order index advancing) before the run is
+  // aborted as livelocked. 0 disables the watchdog. Detects e.g. a flip
+  // whose liveness drain spins a lock holder forever — long before the step
+  // budget would.
+  int64_t stall_limit = 0;
+  // Fault-injection harness for this run (not owned); nullptr disables.
+  FaultInjector* faults = nullptr;
+  // Polled every few hundred steps; a non-ok Status aborts the run with that
+  // status. The supervisor uses this for wall-clock deadlines.
+  std::function<Status()> interrupt;
+};
+
 struct EnforceResult {
   RunResult run;
+  // Health of the enforcement itself: non-ok when the run was cut short
+  // (deadline, livelock watchdog, injected fault) and `run` is partial. The
+  // kernel-level symptom, if any, stays in run.failure.
+  Status status;
+  int64_t steps = 0;
   // Entries of a total-order schedule that never executed because a
   // race-steered control flow made the thread bypass them (§3.4).
   std::vector<DynInstr> disappeared;
@@ -43,15 +68,31 @@ class Enforcer {
   // slice prologue (runs unrecorded before the concurrent threads start).
   EnforceResult RunPreemption(const std::vector<ThreadSpec>& threads,
                               const PreemptionSchedule& schedule,
+                              const std::vector<ThreadSpec>& setup,
+                              const EnforceOptions& options);
+  EnforceResult RunPreemption(const std::vector<ThreadSpec>& threads,
+                              const PreemptionSchedule& schedule,
                               const std::vector<ThreadSpec>& setup = {},
-                              int64_t max_steps = 200000);
+                              int64_t max_steps = 200000) {
+    EnforceOptions options;
+    options.max_steps = max_steps;
+    return RunPreemption(threads, schedule, setup, options);
+  }
 
   // Diagnosing-stage run: replays a total order of dynamic instructions,
   // parking diverging threads and dropping their remaining entries.
   EnforceResult RunTotalOrder(const std::vector<ThreadSpec>& threads,
                               const TotalOrderSchedule& schedule,
+                              const std::vector<ThreadSpec>& setup,
+                              const EnforceOptions& options);
+  EnforceResult RunTotalOrder(const std::vector<ThreadSpec>& threads,
+                              const TotalOrderSchedule& schedule,
                               const std::vector<ThreadSpec>& setup = {},
-                              int64_t max_steps = 200000);
+                              int64_t max_steps = 200000) {
+    EnforceOptions options;
+    options.max_steps = max_steps;
+    return RunTotalOrder(threads, schedule, setup, options);
+  }
 
  private:
   const KernelImage* image_;

@@ -1,0 +1,153 @@
+#include "src/hv/supervisor.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/util/log.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+
+void RunBudget::Merge(const RunBudget& other) {
+  runs += other.runs;
+  attempts += other.attempts;
+  completed += other.completed;
+  retries += other.retries;
+  exhausted += other.exhausted;
+  deadline_expirations += other.deadline_expirations;
+  watchdog_trips += other.watchdog_trips;
+  injected_faults += other.injected_faults;
+  steps += other.steps;
+  backoff_ms += other.backoff_ms;
+}
+
+std::string RunBudget::ToString() const {
+  return StrFormat(
+      "runs=%lld attempts=%lld completed=%lld retries=%lld exhausted=%lld "
+      "deadlines=%lld watchdogs=%lld faults=%lld steps=%lld",
+      static_cast<long long>(runs), static_cast<long long>(attempts),
+      static_cast<long long>(completed), static_cast<long long>(retries),
+      static_cast<long long>(exhausted), static_cast<long long>(deadline_expirations),
+      static_cast<long long>(watchdog_trips), static_cast<long long>(injected_faults),
+      static_cast<long long>(steps));
+}
+
+RunBudget Supervisor::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+StatusOr<EnforceResult> Supervisor::Supervise(const RunFn& run, uint64_t nonce) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++budget_.runs;
+  }
+  const int max_attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  Status last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    FaultInjector injector(options_.faults, FaultNonce(nonce, attempt));
+
+    EnforceOptions eo;
+    eo.max_steps = options_.max_steps;
+    eo.stall_limit = options_.stall_limit;
+    eo.faults = options_.faults.enabled() ? &injector : nullptr;
+    Stopwatch watch;
+    if (options_.deadline_seconds > 0) {
+      const double deadline = options_.deadline_seconds;
+      eo.interrupt = [&watch, deadline]() -> Status {
+        if (watch.ElapsedSeconds() > deadline) {
+          return Status::DeadlineExceeded("run exceeded wall-clock deadline");
+        }
+        return OkStatus();
+      };
+    }
+
+    EnforceResult er = run(eo);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++budget_.attempts;
+      budget_.steps += er.steps;
+      budget_.injected_faults += injector.counters().total();
+      switch (er.status.code()) {
+        case StatusCode::kDeadlineExceeded: ++budget_.deadline_expirations; break;
+        case StatusCode::kAborted: ++budget_.watchdog_trips; break;
+        default: break;
+      }
+    }
+
+    // kResourceExhausted (step budget) is a *scored* outcome, not a lost
+    // run: the enforcer synthesized the kWatchdog failure the verdict layer
+    // knows how to discount, and a deterministic re-run would only spend the
+    // budget again.
+    if (er.status.ok() || er.status.code() == StatusCode::kResourceExhausted) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++budget_.completed;
+      return er;
+    }
+    last = er.status;
+
+    const bool retryable = er.status.code() == StatusCode::kUnavailable ||
+                           er.status.code() == StatusCode::kAborted;
+    if (!retryable || attempt + 1 >= max_attempts) {
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++budget_.retries;
+    }
+    if (options_.backoff_ms_cap > 0) {
+      // Deterministic seeded jitter: the sleep length is a pure function of
+      // (retry_seed, nonce, attempt), so a replayed diagnosis spends the
+      // same backoff schedule.
+      Rng jitter(options_.retry_seed ^ FaultNonce(nonce, attempt));
+      uint64_t ms = jitter.NextBelow(options_.backoff_ms_cap + 1);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        budget_.backoff_ms += static_cast<int64_t>(ms);
+      }
+      if (ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+    }
+    AITIA_LOG(kDebug) << "supervisor: retrying run nonce=" << nonce << " after "
+                      << er.status.ToString() << " (attempt " << attempt + 1 << "/"
+                      << max_attempts << ")";
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++budget_.exhausted;
+  }
+  if (last.ok()) {
+    last = Status::Internal("supervision exhausted without a status");
+  }
+  return last;
+}
+
+StatusOr<EnforceResult> Supervisor::RunPreemption(const std::vector<ThreadSpec>& threads,
+                                                  const PreemptionSchedule& schedule,
+                                                  const std::vector<ThreadSpec>& setup,
+                                                  uint64_t nonce) {
+  return Supervise(
+      [&](const EnforceOptions& eo) {
+        Enforcer enforcer(image_);
+        return enforcer.RunPreemption(threads, schedule, setup, eo);
+      },
+      nonce);
+}
+
+StatusOr<EnforceResult> Supervisor::RunTotalOrder(const std::vector<ThreadSpec>& threads,
+                                                  const TotalOrderSchedule& schedule,
+                                                  const std::vector<ThreadSpec>& setup,
+                                                  uint64_t nonce) {
+  return Supervise(
+      [&](const EnforceOptions& eo) {
+        Enforcer enforcer(image_);
+        return enforcer.RunTotalOrder(threads, schedule, setup, eo);
+      },
+      nonce);
+}
+
+}  // namespace aitia

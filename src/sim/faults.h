@@ -1,0 +1,92 @@
+// Deterministic, seed-driven fault injection for KernelSim/Enforcer runs.
+//
+// The paper's deployment enforces schedules on real VMs where breakpoints
+// occasionally miss, parked vCPUs wake spuriously, debug-register traps
+// arrive late, and whole runs die (§4.4–§4.5). The simulator has none of
+// that noise by construction, so the supervisor's recovery paths would be
+// untestable without manufacturing it. A FaultPlan describes the noise as
+// per-mille probabilities; a FaultInjector turns (plan.seed, nonce) into a
+// concrete, fully reproducible fault sequence for one enforcement attempt —
+// retrying with a different nonce re-rolls the faults, which is exactly how
+// transient faults behave in the fleet.
+
+#ifndef SRC_SIM_FAULTS_H_
+#define SRC_SIM_FAULTS_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace aitia {
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  // Per-mille chance that a matched preemption point silently fails to fire
+  // (the breakpoint was missed; the instruction retires unparked).
+  uint32_t drop_preemption_point = 0;
+  // Per-step per-mille chance that one parked thread wakes spuriously and
+  // rejoins the runnable set ahead of schedule.
+  uint32_t spurious_wakeup = 0;
+  // Per-run per-mille chance that the attempt dies mid-flight (VM loss).
+  uint32_t abort_run = 0;
+  // Step at which a doomed run aborts; -1 draws a step in [1, 1000).
+  int64_t abort_at_step = -1;
+  // Deliver watchpoint observations this many retired events late (0 = on
+  // time). Delivery order is preserved; pending events flush at run end.
+  int64_t watchpoint_delay = 0;
+
+  bool enabled() const {
+    return drop_preemption_point > 0 || spurious_wakeup > 0 || abort_run > 0 ||
+           watchpoint_delay > 0;
+  }
+};
+
+struct FaultCounters {
+  int64_t points_dropped = 0;
+  int64_t spurious_wakeups = 0;
+  int64_t aborts = 0;
+  int64_t delayed_events = 0;
+
+  int64_t total() const {
+    return points_dropped + spurious_wakeups + aborts + delayed_events;
+  }
+};
+
+// Derives the per-attempt nonce the Supervisor feeds to FaultInjector, so
+// tests can reconstruct the exact fault stream of attempt k of run `nonce`.
+uint64_t FaultNonce(uint64_t run_nonce, int attempt);
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint64_t nonce);
+
+  // Consulted by the enforcer at each decision seam; every call advances the
+  // deterministic stream, so call sites must be unconditional per seam.
+  bool DropPreemptionPoint();
+  bool SpuriousWakeup();
+  // Uniform index into [0, size) for picking a wakeup victim.
+  size_t PickIndex(size_t size) { return rng_.PickIndex(size); }
+  // True exactly once, when a doomed run reaches its abort step.
+  bool AbortNow(int64_t step);
+
+  int64_t watchpoint_delay() const { return plan_.watchpoint_delay; }
+  void CountDelayedEvent() { ++counters_.delayed_events; }
+
+  // Whether this (plan, nonce) attempt is fated to abort — exposed so tests
+  // can pick seeds with known retry behavior.
+  bool will_abort() const { return will_abort_; }
+  int64_t abort_step() const { return abort_step_; }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  bool will_abort_ = false;
+  int64_t abort_step_ = -1;
+  FaultCounters counters_;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_SIM_FAULTS_H_

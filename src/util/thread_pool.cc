@@ -17,24 +17,37 @@ ThreadPool::ThreadPool(size_t workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && threads_.empty()) {
+      return;  // already shut down
+    }
     stopping_ = true;
   }
   task_ready_.notify_all();
   for (auto& t : threads_) {
     t.join();
   }
+  threads_.clear();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Reject-after-stop keeps the run/reject decision deterministic: a task
+    // either lands before shutdown (and will run during the drain) or is
+    // refused here — it can never sit in the queue unexecuted.
+    if (stopping_) {
+      return false;
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -67,7 +80,9 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
   for (size_t i = 0; i < n; ++i) {
-    pool.Submit([&fn, i] { fn(i); });
+    if (!pool.Submit([&fn, i] { fn(i); })) {
+      fn(i);  // pool shutting down: degrade to inline execution, never drop work
+    }
   }
   pool.Wait();
 }

@@ -27,8 +27,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  // Enqueues a task. Tasks must not throw. Returns true if the task was
+  // accepted; returns false — deterministically, without running the task —
+  // once shutdown has begun. Every accepted task is guaranteed to run.
+  bool Submit(std::function<void()> task);
+
+  // Stops accepting new tasks, runs everything already accepted, and joins
+  // the workers. Idempotent; called by the destructor. After Shutdown,
+  // Submit rejects and Wait returns immediately.
+  void Shutdown();
 
   // Blocks until every submitted task has finished.
   void Wait();

@@ -1,0 +1,198 @@
+// Unit tests for the deterministic fault-injection harness (src/sim/faults)
+// and its seams inside the enforcer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hv/enforcer.h"
+#include "src/sim/builder.h"
+#include "src/sim/faults.h"
+
+namespace aitia {
+namespace {
+
+// Two writer threads over one global (same fixture as enforcer_test).
+struct TwoWriters {
+  KernelImage image;
+  Addr g = 0;
+  std::vector<ThreadSpec> threads;
+
+  TwoWriters() {
+    g = image.AddGlobal("g", 0);
+    for (int i = 0; i < 2; ++i) {
+      ProgramBuilder b(i == 0 ? "w0" : "w1");
+      b.Lea(R1, g)
+          .StoreImm(R1, i + 1)   // pc 1: first store
+          .StoreImm(R1, 10 + i)  // pc 2: second store
+          .Exit();
+      image.AddProgram(b.Build());
+    }
+    threads = {{"a", 0, 0, ThreadKind::kSyscall}, {"b", 1, 0, ThreadKind::kSyscall}};
+  }
+};
+
+TEST(FaultInjectorTest, SamePlanAndNonceReplaysIdentically) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_preemption_point = 300;
+  plan.spurious_wakeup = 200;
+  FaultInjector a(plan, 7);
+  FaultInjector b(plan, 7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.DropPreemptionPoint(), b.DropPreemptionPoint());
+    EXPECT_EQ(a.SpuriousWakeup(), b.SpuriousWakeup());
+  }
+  EXPECT_EQ(a.counters().points_dropped, b.counters().points_dropped);
+}
+
+TEST(FaultInjectorTest, DifferentNoncesRerollTheFaultStream) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_preemption_point = 500;
+  FaultInjector a(plan, FaultNonce(0, 0));
+  FaultInjector b(plan, FaultNonce(0, 1));
+  int same = 0;
+  for (int i = 0; i < 128; ++i) {
+    if (a.DropPreemptionPoint() == b.DropPreemptionPoint()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 128);  // streams diverge somewhere
+}
+
+TEST(FaultInjectorTest, DropRateTracksThePlan) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_preemption_point = 100;  // 10%
+  FaultInjector inj(plan, 0);
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (inj.DropPreemptionPoint()) {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 700);
+  EXPECT_LT(dropped, 1300);
+}
+
+TEST(FaultInjectorTest, DisabledPlanInjectsNothing) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  FaultInjector inj(plan, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(inj.DropPreemptionPoint());
+    EXPECT_FALSE(inj.SpuriousWakeup());
+    EXPECT_FALSE(inj.AbortNow(i));
+  }
+  EXPECT_EQ(inj.counters().total(), 0);
+}
+
+TEST(FaultSeamTest, DroppedPointNeverFires) {
+  TwoWriters w;
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.drop_preemption_point = 1000;  // every breakpoint misses
+  FaultInjector inj(plan, 0);
+
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  schedule.points = {{DynInstr{0, {0, 1}, 0}, /*before=*/false, kNoThread}};
+  EnforceOptions eo;
+  eo.faults = &inj;
+  Enforcer enforcer(&w.image);
+  EnforceResult er = enforcer.RunPreemption(w.threads, schedule, {}, eo);
+
+  ASSERT_TRUE(er.status.ok());
+  ASSERT_EQ(er.unfired_points.size(), 1u);
+  EXPECT_GE(inj.counters().points_dropped, 1);
+  // No park happened: the run is the plain base order, thread 0 first.
+  bool seen_one = false;
+  for (const ExecEvent& e : er.run.trace) {
+    if (e.di.tid == 1) {
+      seen_one = true;
+    }
+    if (seen_one) {
+      EXPECT_EQ(e.di.tid, 1);
+    }
+  }
+}
+
+TEST(FaultSeamTest, SpuriousWakeupResumesParkedThread) {
+  TwoWriters w;
+  FaultPlan plan;
+  plan.seed = 2;
+  plan.spurious_wakeup = 1000;  // wake a parked thread at every step
+  FaultInjector inj(plan, 0);
+
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  schedule.points = {{DynInstr{0, {0, 1}, 0}, /*before=*/true, 1}};
+  EnforceOptions eo;
+  eo.faults = &inj;
+  Enforcer enforcer(&w.image);
+  EnforceResult er = enforcer.RunPreemption(w.threads, schedule, {}, eo);
+
+  ASSERT_TRUE(er.status.ok());
+  EXPECT_TRUE(er.run.all_exited);
+  EXPECT_GE(inj.counters().spurious_wakeups, 1);
+}
+
+TEST(FaultSeamTest, InjectedAbortCutsTheRunShort) {
+  TwoWriters w;
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.abort_run = 1000;  // every run is doomed
+  plan.abort_at_step = 3;
+  FaultInjector inj(plan, 0);
+  EXPECT_TRUE(inj.will_abort());
+
+  EnforceOptions eo;
+  eo.faults = &inj;
+  Enforcer enforcer(&w.image);
+  EnforceResult er = enforcer.RunPreemption(w.threads, {{0, 1}, {}}, {}, eo);
+
+  EXPECT_EQ(er.status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(er.run.all_exited);
+  EXPECT_EQ(inj.counters().aborts, 1);
+  EXPECT_LE(er.steps, 4);
+}
+
+TEST(FaultSeamTest, DelayedWatchpointsStillDetectRaces) {
+  TwoWriters w;
+  PreemptionSchedule schedule;
+  schedule.base_order = {0, 1};
+  // Park thread 0 after its first store and let thread 1 run into the armed
+  // watchpoint.
+  schedule.points = {{DynInstr{0, {0, 1}, 0}, /*before=*/false, 1}};
+
+  Enforcer enforcer(&w.image);
+  EnforceResult baseline = enforcer.RunPreemption(w.threads, schedule);
+  ASSERT_FALSE(baseline.watch_hits.empty());
+
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.watchpoint_delay = 2;
+  FaultInjector inj(plan, 0);
+  EnforceOptions eo;
+  eo.faults = &inj;
+  EnforceResult delayed = enforcer.RunPreemption(w.threads, schedule, {}, eo);
+
+  ASSERT_TRUE(delayed.status.ok());
+  EXPECT_GT(inj.counters().delayed_events, 0);
+  // Late delivery may add noise hits but never loses one: every baseline hit
+  // is still present (watchpoints stay armed, order is preserved).
+  for (const WatchpointHit& hit : baseline.watch_hits) {
+    bool found = false;
+    for (const WatchpointHit& d : delayed.watch_hits) {
+      if (d.owner == hit.owner && d.access.di == hit.access.di) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace aitia
