@@ -64,14 +64,22 @@ std::vector<ScenarioEntry> Table3Scenarios() {
   return out;
 }
 
-BugScenario MakeScenario(const std::string& id) {
+const ScenarioEntry* FindScenario(const std::string& id) {
   for (const auto& e : AllScenarios()) {
     if (id == e.id) {
-      return e.make();
+      return &e;
     }
   }
-  AITIA_LOG(kError) << "unknown scenario: " << id;
-  std::abort();
+  return nullptr;
+}
+
+BugScenario MakeScenario(const std::string& id) {
+  const ScenarioEntry* entry = FindScenario(id);
+  if (entry == nullptr) {
+    AITIA_LOG(kError) << "unknown scenario: " << id;
+    std::abort();
+  }
+  return entry->make();
 }
 
 }  // namespace aitia

@@ -28,6 +28,9 @@ std::vector<ScenarioEntry> Table3Scenarios();
 // Builds a scenario by id; aborts on unknown id.
 BugScenario MakeScenario(const std::string& id);
 
+// Non-aborting lookup; nullptr on unknown id (for CLI / service frontends).
+const ScenarioEntry* FindScenario(const std::string& id);
+
 // --- individual scenario factories ------------------------------------------
 // Abstract figures.
 BugScenario MakeFig1();        // two-variable NULL deref (Figure 1)

@@ -1,0 +1,23 @@
+// Semantic assembler: TraceDoc -> KernelImage + BugScenario.
+//
+// Resolves names the parser could only record: global references in `lea`
+// and `&global` initializers, program names in `queue_work` / `call_rcu` /
+// thread and IRQ lines, and the ground truth's racing globals. Forward
+// references are allowed everywhere (addresses and ProgramIds are assigned
+// in declaration order, matching KernelImage). All failures are Status
+// diagnostics with source positions — assembly never aborts.
+
+#ifndef SRC_INGEST_ASSEMBLE_H_
+#define SRC_INGEST_ASSEMBLE_H_
+
+#include "src/bugs/scenario.h"
+#include "src/ingest/trace_doc.h"
+#include "src/util/status.h"
+
+namespace aitia {
+
+StatusOr<BugScenario> AssembleScenario(const TraceDoc& doc);
+
+}  // namespace aitia
+
+#endif  // SRC_INGEST_ASSEMBLE_H_

@@ -1,0 +1,29 @@
+#include "src/ingest/ingest.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace aitia {
+
+StatusOr<BugScenario> ScenarioFromAitText(std::string_view text, const std::string& filename) {
+  StatusOr<TraceDoc> doc = ParseTraceText(text, filename);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return AssembleScenario(*doc);
+}
+
+StatusOr<BugScenario> ScenarioFromAitFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot read trace file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Unavailable("I/O error reading trace file: " + path);
+  }
+  return ScenarioFromAitText(buffer.str(), path);
+}
+
+}  // namespace aitia

@@ -1,0 +1,129 @@
+#include "src/ingest/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '-';
+}
+
+Status LexError(int line, int col, const std::string& message) {
+  return Status::InvalidArgument(StrFormat("%d:%d: %s", line, col, message.c_str()));
+}
+
+}  // namespace
+
+Status TokenizeLine(std::string_view line, int line_no, std::vector<Token>* out) {
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    const int col = static_cast<int>(i) + 1;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      break;  // comment to end of line
+    }
+    if (c == ',') {
+      out->push_back({TokenKind::kComma, ",", 0, {line_no, col}});
+      ++i;
+      continue;
+    }
+    if (c == '&') {
+      out->push_back({TokenKind::kAmp, "&", 0, {line_no, col}});
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (true) {
+        if (i >= line.size()) {
+          return LexError(line_no, col, "unterminated string");
+        }
+        const char s = line[i];
+        if (s == '"') {
+          ++i;
+          break;
+        }
+        if (s == '\\') {
+          if (i + 1 >= line.size()) {
+            return LexError(line_no, static_cast<int>(i) + 1, "dangling escape");
+          }
+          const char e = line[i + 1];
+          switch (e) {
+            case '"': text += '"'; break;
+            case '\\': text += '\\'; break;
+            case 'n': text += '\n'; break;
+            case 'r': text += '\r'; break;
+            case 't': text += '\t'; break;
+            default:
+              return LexError(line_no, static_cast<int>(i) + 1,
+                              StrFormat("unknown escape '\\%c'", e));
+          }
+          i += 2;
+          continue;
+        }
+        text += s;
+        ++i;
+      }
+      out->push_back({TokenKind::kString, std::move(text), 0, {line_no, col}});
+      continue;
+    }
+    const bool neg_int = c == '-' && i + 1 < line.size() &&
+                         std::isdigit(static_cast<unsigned char>(line[i + 1]));
+    if (std::isdigit(static_cast<unsigned char>(c)) || neg_int) {
+      size_t start = i;
+      if (neg_int) {
+        ++i;
+      }
+      const bool hex = i + 1 < line.size() && line[i] == '0' &&
+                       (line[i + 1] == 'x' || line[i + 1] == 'X');
+      if (hex) {
+        i += 2;
+        while (i < line.size() && std::isxdigit(static_cast<unsigned char>(line[i]))) {
+          ++i;
+        }
+      } else {
+        while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+          ++i;
+        }
+      }
+      if (i < line.size() && IsIdentChar(line[i]) && line[i] != '-') {
+        return LexError(line_no, col, "malformed number");
+      }
+      const std::string text(line.substr(start, i - start));
+      errno = 0;
+      char* end = nullptr;
+      const long long value = std::strtoll(text.c_str(), &end, 0);
+      if (errno == ERANGE || end == nullptr || *end != '\0') {
+        return LexError(line_no, col, "integer out of range");
+      }
+      out->push_back({TokenKind::kInt, text, static_cast<Word>(value), {line_no, col}});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < line.size() && IsIdentChar(line[i])) {
+        ++i;
+      }
+      out->push_back(
+          {TokenKind::kIdent, std::string(line.substr(start, i - start)), 0, {line_no, col}});
+      continue;
+    }
+    return LexError(line_no, col, StrFormat("unexpected character '%c'", c));
+  }
+  return OkStatus();
+}
+
+}  // namespace aitia

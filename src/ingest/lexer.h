@@ -1,0 +1,49 @@
+// Line lexer for the .ait trace language.
+//
+// The format is line-oriented: the lexer turns one physical line into a
+// token vector with 1-based column positions, so every parse diagnostic can
+// say exactly where it happened. `#` starts a comment that runs to the end
+// of the line.
+
+#ifndef SRC_INGEST_LEXER_H_
+#define SRC_INGEST_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/util/status.h"
+
+namespace aitia {
+
+// A position in the source text (both 1-based).
+struct SourcePos {
+  int line = 1;
+  int col = 1;
+};
+
+enum class TokenKind {
+  kIdent,   // fanout_add, r3, syscall, L7 ...
+  kInt,     // 42, -1, 0x1f
+  kString,  // "bind()" with \" \\ \n \r \t escapes
+  kComma,   // ,
+  kAmp,     // & (global-address initializer: &pointee)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kIdent;
+  std::string text;  // identifier / decoded string contents
+  Word value = 0;    // integer value for kInt
+  SourcePos pos;
+};
+
+// Tokenizes one line (`line_no` is 1-based). On lex errors (unterminated
+// string, bad escape, malformed number, stray character) returns
+// kInvalidArgument with "<line>:<col>: message"; `out` holds the tokens
+// lexed so far.
+Status TokenizeLine(std::string_view line, int line_no, std::vector<Token>* out);
+
+}  // namespace aitia
+
+#endif  // SRC_INGEST_LEXER_H_

@@ -1,0 +1,45 @@
+// Parser for the .ait trace language.
+//
+// Grammar (line-oriented; `#` comments; blank lines ignored):
+//
+//   ait 1
+//   scenario "CVE-2017-15649"
+//   subsystem "Packet socket"            # optional
+//   bug_kind "Assertion violation"       # optional
+//   global po_running 1
+//   global ptr &pointee                  # init = address of another global
+//   program fanout_add
+//     lea r1, po_running
+//     load r2, r1 note "A2: if (!po->running)"
+//     beqz r2, einval
+//     label einval
+//     exit
+//   end
+//   slice "bind()" packet_do_bind arg 0 kind syscall resource "packet_fd"
+//   setup "open(dev)" dev_open
+//   noise "ioctl(query) #1" query_loop
+//   irq serial_rx_irq arg 0
+//   truth failure assert
+//   truth racing_globals po_running po_fanout
+//   truth expected_chain_races 4
+//
+// Every diagnostic is a Status (kInvalidArgument) of the form
+// "<file>:<line>:<col>: message" — the parser never aborts.
+
+#ifndef SRC_INGEST_PARSER_H_
+#define SRC_INGEST_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/ingest/trace_doc.h"
+#include "src/util/status.h"
+
+namespace aitia {
+
+// Parses .ait text. `filename` is used only to prefix diagnostics.
+StatusOr<TraceDoc> ParseTraceText(std::string_view text, const std::string& filename);
+
+}  // namespace aitia
+
+#endif  // SRC_INGEST_PARSER_H_

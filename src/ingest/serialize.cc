@@ -1,0 +1,194 @@
+#include "src/ingest/serialize.h"
+
+#include <set>
+#include <string_view>
+
+#include "src/ingest/syntax.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace {
+
+std::string LabelName(Pc pc) { return StrFormat("L%d", pc); }
+
+bool IsBranch(Op op) {
+  return op == Op::kBeqz || op == Op::kBnez || op == Op::kBeq || op == Op::kBne ||
+         op == Op::kJmp || op == Op::kCall;
+}
+
+void EmitProgram(const KernelImage& image, const Program& prog, std::string* out) {
+  std::set<Pc> targets;
+  for (const Instr& instr : prog.code) {
+    if (IsBranch(instr.op)) {
+      targets.insert(static_cast<Pc>(instr.imm));
+    }
+  }
+  *out += "program " + QuoteName(prog.name) + "\n";
+  for (Pc pc = 0; pc < prog.size(); ++pc) {
+    if (targets.count(pc) != 0) {
+      *out += "  label " + LabelName(pc) + "\n";
+    }
+    const Instr& instr = prog.At(pc);
+    const MnemonicInfo* info = MnemonicFor(instr);
+    std::string line = "  ";
+    line += info->name;
+    bool first = true;
+    for (const char* sig = info->signature; *sig != '\0'; ++sig) {
+      std::string operand;
+      switch (*sig) {
+        case 'd': operand = RegToken(instr.rd); break;
+        case 's': operand = RegToken(instr.rs); break;
+        case 't': operand = RegToken(instr.rt); break;
+        case 'i': operand = StrFormat("%lld", static_cast<long long>(instr.imm)); break;
+        case 'I': operand = StrFormat("%lld", static_cast<long long>(instr.imm2)); break;
+        case 'o':
+          if (instr.imm == 0) {
+            continue;  // default offset elided
+          }
+          operand = StrFormat("%lld", static_cast<long long>(instr.imm));
+          break;
+        case 'K':
+          if (instr.imm2 == 0) {
+            continue;
+          }
+          operand = "leak";
+          break;
+        case 'G': {
+          const std::string name = image.GlobalName(static_cast<Addr>(instr.imm));
+          operand = name.empty()
+                        ? StrFormat("%lld", static_cast<long long>(instr.imm))
+                        : QuoteName(name);
+          break;
+        }
+        case 'L': operand = LabelName(static_cast<Pc>(instr.imm)); break;
+        case 'P': {
+          const auto id = static_cast<size_t>(instr.imm);
+          operand = id < image.programs().size()
+                        ? QuoteName(image.programs()[id].name)
+                        : StrFormat("%lld", static_cast<long long>(instr.imm));
+          break;
+        }
+        default: continue;
+      }
+      line += first ? " " : ", ";
+      line += operand;
+      first = false;
+    }
+    if (!instr.note.empty()) {
+      line += " note " + QuoteString(instr.note);
+    }
+    *out += line + "\n";
+  }
+  // Branches may legally target one past the last instruction (the implicit
+  // fall-off point); re-parsing restores it via the auto-appended exit.
+  if (targets.count(prog.size()) != 0) {
+    *out += "  label " + LabelName(prog.size()) + "\n";
+  }
+  *out += "end\n";
+}
+
+void EmitThreads(const char* section, const std::vector<ThreadSpec>& threads,
+                 const std::vector<std::string>& resources, std::string* out,
+                 const KernelImage& image) {
+  for (size_t i = 0; i < threads.size(); ++i) {
+    const ThreadSpec& t = threads[i];
+    std::string line = section;
+    line += " " + QuoteName(t.name);
+    const auto id = static_cast<size_t>(t.prog);
+    line += " " + (id < image.programs().size()
+                       ? QuoteName(image.programs()[id].name)
+                       : StrFormat("%lld", static_cast<long long>(t.prog)));
+    if (t.arg != 0) {
+      line += StrFormat(" arg %lld", static_cast<long long>(t.arg));
+    }
+    if (t.kind != ThreadKind::kSyscall) {
+      line += std::string(" kind ") + ThreadKindName(t.kind);
+    }
+    if (i < resources.size() && !resources[i].empty()) {
+      line += " resource " + QuoteString(resources[i]);
+    }
+    *out += line + "\n";
+  }
+}
+
+const char* Bool(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+std::string ScenarioToAit(const BugScenario& scenario) {
+  const KernelImage& image = *scenario.image;
+  std::string out;
+  out += StrFormat("# %s — AITIA trace\n", scenario.id.c_str());
+  out += StrFormat("ait %d\n\n", kAitVersion);
+  out += "scenario " + QuoteName(scenario.id) + "\n";
+  if (!scenario.subsystem.empty()) {
+    out += "subsystem " + QuoteString(scenario.subsystem) + "\n";
+  }
+  if (!scenario.bug_kind.empty()) {
+    out += "bug_kind " + QuoteString(scenario.bug_kind) + "\n";
+  }
+
+  if (!image.globals().empty()) {
+    out += "\n";
+  }
+  for (const GlobalVar& g : image.globals()) {
+    // An initial value that is another global's address round-trips by name.
+    std::string ref;
+    for (const GlobalVar& other : image.globals()) {
+      if (g.init != 0 && static_cast<Addr>(g.init) == other.addr) {
+        ref = other.name;
+        break;
+      }
+    }
+    if (ref.empty()) {
+      out += StrFormat("global %s %lld\n", QuoteName(g.name).c_str(),
+                       static_cast<long long>(g.init));
+    } else {
+      out += "global " + QuoteName(g.name) + " &" + QuoteName(ref) + "\n";
+    }
+  }
+
+  for (const Program& prog : image.programs()) {
+    out += "\n";
+    EmitProgram(image, prog, &out);
+  }
+
+  out += "\n";
+  EmitThreads("setup", scenario.setup, scenario.setup_resources, &out, image);
+  EmitThreads("slice", scenario.slice, scenario.slice_resources, &out, image);
+  EmitThreads("noise", scenario.noise, {}, &out, image);
+  for (const IrqLine& irq : scenario.irq_lines) {
+    const auto id = static_cast<size_t>(irq.handler);
+    std::string handler = id < image.programs().size()
+                              ? QuoteName(image.programs()[id].name)
+                              : StrFormat("%d", irq.handler);
+    out += "irq " + handler;
+    if (irq.arg != 0) {
+      out += StrFormat(" arg %lld", static_cast<long long>(irq.arg));
+    }
+    out += "\n";
+  }
+
+  const GroundTruth& t = scenario.truth;
+  out += "\n";
+  out += StrFormat("truth failure %s\n", FailureTypeToken(t.failure_type));
+  out += StrFormat("truth multi_variable %s\n", Bool(t.multi_variable));
+  out += StrFormat("truth loosely_correlated %s\n", Bool(t.loosely_correlated));
+  out += StrFormat("truth paper_chain_races %d\n", t.paper_chain_races);
+  out += StrFormat("truth paper_interleavings %d\n", t.paper_interleavings);
+  out += StrFormat("truth expected_chain_races %d\n", t.expected_chain_races);
+  out += StrFormat("truth expected_interleavings %d\n", t.expected_interleavings);
+  if (!t.racing_globals.empty()) {
+    out += "truth racing_globals";
+    for (const std::string& name : t.racing_globals) {
+      out += " " + QuoteName(name);
+    }
+    out += "\n";
+  }
+  out += StrFormat("truth muvi_assumption_holds %s\n", Bool(t.muvi_assumption_holds));
+  out += StrFormat("truth single_variable_pattern %s\n", Bool(t.single_variable_pattern));
+  out += StrFormat("truth expect_ambiguity %s\n", Bool(t.expect_ambiguity));
+  return out;
+}
+
+}  // namespace aitia

@@ -1,0 +1,22 @@
+// Serializer: BugScenario -> .ait text.
+//
+// Emits any scenario — hand-built against ProgramBuilder or assembled from a
+// trace — as a parseable .ait document. Labels are reconstructed from branch
+// targets as "L<pc>"; a global whose initial value is another global's
+// address round-trips as "&name". serialize(parse(serialize(s))) ==
+// serialize(s) holds for every corpus scenario (golden-tested).
+
+#ifndef SRC_INGEST_SERIALIZE_H_
+#define SRC_INGEST_SERIALIZE_H_
+
+#include <string>
+
+#include "src/bugs/scenario.h"
+
+namespace aitia {
+
+std::string ScenarioToAit(const BugScenario& scenario);
+
+}  // namespace aitia
+
+#endif  // SRC_INGEST_SERIALIZE_H_

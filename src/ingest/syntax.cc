@@ -1,0 +1,187 @@
+#include "src/ingest/syntax.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "src/util/strings.h"
+
+namespace aitia {
+
+const MnemonicInfo* AllMnemonics() {
+  static const MnemonicInfo kTable[] = {
+      {"label", "L", Op::kNop, true},
+      {"nop", "", Op::kNop, false},
+      {"resched", "", Op::kResched, false},
+      {"tlb_flush", "", Op::kTlbFlush, false},
+      {"mov_imm", "di", Op::kMovImm, false},
+      {"mov", "ds", Op::kMov, false},
+      {"add_imm", "dsi", Op::kAddImm, false},
+      {"add", "dst", Op::kAdd, false},
+      {"sub", "dst", Op::kSub, false},
+      {"lea", "dG", Op::kLea, false},
+      {"load", "dso", Op::kLoad, false},
+      {"store", "dso", Op::kStore, false},
+      {"store_imm", "dIo", Op::kStoreImm, false},
+      {"beqz", "sL", Op::kBeqz, false},
+      {"bnez", "sL", Op::kBnez, false},
+      {"beq", "stL", Op::kBeq, false},
+      {"bne", "stL", Op::kBne, false},
+      {"jmp", "L", Op::kJmp, false},
+      {"call", "L", Op::kCall, false},
+      {"ret", "", Op::kRet, false},
+      {"exit", "", Op::kExit, false},
+      {"alloc", "diK", Op::kAlloc, false},
+      {"free", "s", Op::kFree, false},
+      {"lock", "so", Op::kLock, false},
+      {"unlock", "so", Op::kUnlock, false},
+      {"bug_on", "s", Op::kAssert, false},
+      {"warn_on", "s", Op::kAssert, false},
+      {"queue_work", "Ps", Op::kQueueWork, false},
+      {"call_rcu", "Ps", Op::kCallRcu, false},
+      {"list_add", "sto", Op::kListAdd, false},
+      {"list_del", "dsto", Op::kListDel, false},
+      {"list_contains", "dsto", Op::kListContains, false},
+      {"list_pop", "dso", Op::kListPop, false},
+      {"list_len", "dso", Op::kListLen, false},
+      {"ref_get", "so", Op::kRefGet, false},
+      {"ref_put", "dso", Op::kRefPut, false},
+      {nullptr, nullptr, Op::kNop, false},
+  };
+  return kTable;
+}
+
+const MnemonicInfo* FindMnemonic(std::string_view name) {
+  for (const MnemonicInfo* m = AllMnemonics(); m->name != nullptr; ++m) {
+    if (name == m->name) {
+      return m;
+    }
+  }
+  return nullptr;
+}
+
+const MnemonicInfo* MnemonicFor(const Instr& instr) {
+  if (instr.op == Op::kAssert) {
+    return FindMnemonic(instr.imm2 != 0 ? "warn_on" : "bug_on");
+  }
+  for (const MnemonicInfo* m = AllMnemonics(); m->name != nullptr; ++m) {
+    if (!m->is_label && m->op == instr.op) {
+      return m;
+    }
+  }
+  return nullptr;
+}
+
+const char* FailureTypeToken(FailureType type) {
+  switch (type) {
+    case FailureType::kNone: return "none";
+    case FailureType::kNullDeref: return "null-deref";
+    case FailureType::kGeneralProtection: return "gpf";
+    case FailureType::kUseAfterFreeRead: return "uaf-read";
+    case FailureType::kUseAfterFreeWrite: return "uaf-write";
+    case FailureType::kOutOfBounds: return "oob";
+    case FailureType::kDoubleFree: return "double-free";
+    case FailureType::kBadFree: return "bad-free";
+    case FailureType::kAssertViolation: return "assert";
+    case FailureType::kWarning: return "warning";
+    case FailureType::kRefcountWarning: return "refcount";
+    case FailureType::kMemoryLeak: return "leak";
+    case FailureType::kDeadlock: return "deadlock";
+    case FailureType::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+bool ParseFailureTypeToken(std::string_view token, FailureType* out) {
+  static constexpr FailureType kAll[] = {
+      FailureType::kNone,          FailureType::kNullDeref,
+      FailureType::kGeneralProtection, FailureType::kUseAfterFreeRead,
+      FailureType::kUseAfterFreeWrite, FailureType::kOutOfBounds,
+      FailureType::kDoubleFree,    FailureType::kBadFree,
+      FailureType::kAssertViolation,   FailureType::kWarning,
+      FailureType::kRefcountWarning,   FailureType::kMemoryLeak,
+      FailureType::kDeadlock,      FailureType::kWatchdog,
+  };
+  for (FailureType type : kAll) {
+    if (token == FailureTypeToken(type)) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseThreadKindToken(std::string_view token, ThreadKind* out) {
+  static constexpr ThreadKind kAll[] = {ThreadKind::kSyscall, ThreadKind::kKworker,
+                                        ThreadKind::kRcuCallback, ThreadKind::kHardIrq};
+  for (ThreadKind kind : kAll) {
+    if (token == ThreadKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseRegToken(std::string_view token, Reg* out) {
+  if (token.size() < 2 || token.size() > 3 || token[0] != 'r') {
+    return false;
+  }
+  int value = 0;
+  for (size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      return false;
+    }
+    value = value * 10 + (token[i] - '0');
+  }
+  if (token.size() == 3 && token[1] == '0') {
+    return false;  // no leading zeros (r01)
+  }
+  if (value >= kNumRegs) {
+    return false;
+  }
+  *out = static_cast<Reg>(value);
+  return true;
+}
+
+std::string RegToken(uint8_t reg) { return StrFormat("r%d", reg); }
+
+bool IsBareName(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  const unsigned char first = static_cast<unsigned char>(name[0]);
+  if (!std::isalpha(first) && first != '_') {
+    return false;
+  }
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_' && c != '.' && c != '-') {
+      return false;
+    }
+  }
+  // A bare name must not collide with clause keywords that can follow it.
+  return name != "note" && name != "arg" && name != "kind" && name != "resource" &&
+         name != "leak";
+}
+
+std::string QuoteString(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string QuoteName(const std::string& name) {
+  return IsBareName(name) ? name : QuoteString(name);
+}
+
+}  // namespace aitia

@@ -1,0 +1,80 @@
+// The AITIA trace language (".ait") — shared syntax tables.
+//
+// One mnemonic per ProgramBuilder operation plus the `label` pseudo-op. The
+// operand signature string is the single source of truth for the parser
+// (which operands to expect), the assembler (which builder call to make),
+// and the serializer (how to print an Instr back out):
+//
+//   d  destination register (Instr::rd)
+//   s  source register      (Instr::rs)
+//   t  second source        (Instr::rt)
+//   i  immediate            (Instr::imm)
+//   I  immediate            (Instr::imm2)
+//   o  optional offset, default 0 (Instr::imm)
+//   G  global-variable name (or a raw address), lands in Instr::imm
+//   L  label name; resolved to a pc in Instr::imm
+//   P  program name; resolved to a ProgramId in Instr::imm
+//   K  optional `leak` keyword (Instr::imm2 != 0)
+//
+// Every instruction line may end with `note "..."`, the annotation that
+// flows into race reports and causality chains.
+
+#ifndef SRC_INGEST_SYNTAX_H_
+#define SRC_INGEST_SYNTAX_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/sim/failure.h"
+#include "src/sim/instr.h"
+#include "src/sim/thread.h"
+#include "src/sim/types.h"
+
+namespace aitia {
+
+// The .ait format version this toolchain reads and writes (`ait 1` header).
+inline constexpr int kAitVersion = 1;
+
+struct MnemonicInfo {
+  const char* name;       // lower_snake mnemonic, e.g. "store_imm"
+  const char* signature;  // operand pattern, see header comment
+  Op op;                  // the Op it lowers to (kNop for `label`)
+  bool is_label;          // the `label` pseudo-op
+};
+
+// All mnemonics, in serializer emission order. Terminated by a null name.
+const MnemonicInfo* AllMnemonics();
+
+// Lookup by mnemonic text; nullptr if unknown.
+const MnemonicInfo* FindMnemonic(std::string_view name);
+
+// Lookup for the serializer: the mnemonic that prints `instr`. kAssert
+// disambiguates to bug_on/warn_on via imm2. Never null for valid ops.
+const MnemonicInfo* MnemonicFor(const Instr& instr);
+
+// --- enum token tables -------------------------------------------------------
+// Stable kebab-case tokens for ground-truth failure types (distinct from the
+// human-facing FailureTypeName strings, which contain spaces).
+const char* FailureTypeToken(FailureType type);
+bool ParseFailureTypeToken(std::string_view token, FailureType* out);
+
+// Thread kinds reuse the simulator's names: syscall, kworker, rcu, hardirq.
+bool ParseThreadKindToken(std::string_view token, ThreadKind* out);
+
+// Registers: r0..r15.
+bool ParseRegToken(std::string_view token, Reg* out);
+std::string RegToken(uint8_t reg);
+
+// --- quoting ----------------------------------------------------------------
+// True if `name` can appear bare (identifier: [A-Za-z_][A-Za-z0-9_.-]*).
+bool IsBareName(std::string_view name);
+
+// Double-quotes `raw` with \" \\ \n \r \t escapes.
+std::string QuoteString(const std::string& raw);
+
+// Emits `name` bare when possible, quoted otherwise.
+std::string QuoteName(const std::string& name);
+
+}  // namespace aitia
+
+#endif  // SRC_INGEST_SYNTAX_H_

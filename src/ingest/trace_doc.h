@@ -1,0 +1,89 @@
+// Parsed representation of one .ait scenario file.
+//
+// The parser (parser.h) produces a TraceDoc after purely syntactic checks
+// (mnemonics, operand shapes, label discipline, duplicate names); the
+// assembler (assemble.h) lowers it into a KernelImage + BugScenario,
+// resolving global and program names. Positions are kept on every element
+// so semantic errors can still point at source lines.
+
+#ifndef SRC_INGEST_TRACE_DOC_H_
+#define SRC_INGEST_TRACE_DOC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bugs/scenario.h"
+#include "src/ingest/lexer.h"
+#include "src/ingest/syntax.h"
+
+namespace aitia {
+
+// One instruction (or `label` pseudo-op) inside a `program` block.
+struct AitInstr {
+  const MnemonicInfo* info = nullptr;
+  uint8_t rd = 0;            // 'd'
+  uint8_t rs = 0;            // 's'
+  uint8_t rt = 0;            // 't'
+  Word imm = 0;              // 'i'
+  Word imm2 = 0;             // 'I'
+  Word off = 0;              // 'o'
+  bool leak = false;         // 'K'
+  std::string sym;           // 'G'/'L'/'P' operand (name)
+  bool sym_is_number = false;  // 'G' given as a raw address (in imm)
+  std::string note;
+  SourcePos pos;      // mnemonic position
+  SourcePos sym_pos;  // position of the name operand, for semantic errors
+};
+
+struct AitGlobal {
+  std::string name;
+  Word init = 0;
+  std::string init_ref;  // non-empty: init is `&init_ref` (a global's address)
+  SourcePos pos;
+  SourcePos init_pos;
+};
+
+struct AitProgram {
+  std::string name;
+  std::vector<AitInstr> items;
+  SourcePos pos;
+};
+
+enum class AitSection { kSlice, kSetup, kNoise };
+
+struct AitThread {
+  AitSection section = AitSection::kSlice;
+  std::string name;     // display name, e.g. "bind()"
+  std::string program;  // program to run
+  Word arg = 0;
+  ThreadKind kind = ThreadKind::kSyscall;
+  bool has_resource = false;
+  std::string resource;
+  SourcePos pos;
+  SourcePos program_pos;
+};
+
+struct AitIrq {
+  std::string handler;
+  Word arg = 0;
+  SourcePos pos;
+  SourcePos handler_pos;
+};
+
+struct TraceDoc {
+  std::string filename;  // for diagnostics only
+  std::string scenario_id;
+  std::string subsystem;
+  std::string bug_kind;
+  std::vector<AitGlobal> globals;
+  std::vector<AitProgram> programs;
+  std::vector<AitThread> threads;
+  std::vector<AitIrq> irqs;
+  GroundTruth truth;
+  // Positions of truth.racing_globals entries (parallel vector).
+  std::vector<SourcePos> racing_global_pos;
+};
+
+}  // namespace aitia
+
+#endif  // SRC_INGEST_TRACE_DOC_H_

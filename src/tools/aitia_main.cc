@@ -1,0 +1,118 @@
+// aitia — the trace-driven diagnosis CLI.
+//
+// Reads an AITIA trace (.ait) file — or a bundled corpus scenario id — and
+// runs the full LIFS + Causality pipeline under the supervisor, printing the
+// rendered diagnosis (or JSON with --json).
+//
+//   $ aitia examples/traces/cve_2017_15649.ait
+//   $ aitia --json examples/traces/fig_4b.ait
+//   $ aitia CVE-2017-15649              # corpus id instead of a file
+//   $ aitia --emit syz-04               # serialize a corpus scenario to .ait
+//   $ aitia --list                      # list corpus ids
+//
+// Exit codes (scriptable, CI-friendly):
+//   0  diagnosis complete (causality chain produced, supervision healthy)
+//   1  failure did not reproduce / no diagnosis
+//   2  input error: unreadable file, parse or assembly error, bad usage
+//   3  diagnosis completed degraded (some flip tests exhausted their budget)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/core/report.h"
+#include "src/ingest/ingest.h"
+
+namespace {
+
+constexpr int kExitDiagnosed = 0;
+constexpr int kExitNotDiagnosed = 1;
+constexpr int kExitInputError = 2;
+constexpr int kExitDegraded = 3;
+
+int Usage(FILE* to) {
+  std::fprintf(to,
+               "usage: aitia [--json] <trace.ait | scenario-id>\n"
+               "       aitia --emit <scenario-id>   # print a corpus scenario as .ait\n"
+               "       aitia --list                 # list corpus scenario ids\n"
+               "\n"
+               "exit codes: 0 diagnosed, 1 not diagnosed, 2 input error, 3 degraded\n");
+  return to == stdout ? kExitDiagnosed : kExitInputError;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aitia;
+
+  bool json = false;
+  bool emit = false;
+  std::string input;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--emit") {
+      emit = true;
+    } else if (arg == "--list") {
+      for (const ScenarioEntry& e : AllScenarios()) {
+        std::printf("%s\n", e.id);
+      }
+      return kExitDiagnosed;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(stdout);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "aitia: unknown flag '%s'\n", arg.c_str());
+      return Usage(stderr);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "aitia: more than one input ('%s' and '%s')\n", input.c_str(),
+                   arg.c_str());
+      return Usage(stderr);
+    }
+  }
+  if (input.empty()) {
+    return Usage(stderr);
+  }
+
+  if (emit) {
+    const ScenarioEntry* entry = FindScenario(input);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "aitia: unknown scenario id '%s' (try --list)\n", input.c_str());
+      return kExitInputError;
+    }
+    std::fputs(ScenarioToAit(entry->make()).c_str(), stdout);
+    return kExitDiagnosed;
+  }
+
+  // A corpus id is accepted wherever a trace file is: ids never name
+  // readable files, so the file path wins when both could apply.
+  BugScenario scenario;
+  const ScenarioEntry* entry = FindScenario(input);
+  StatusOr<BugScenario> loaded = ScenarioFromAitFile(input);
+  if (loaded.ok()) {
+    scenario = *std::move(loaded);
+  } else if (entry != nullptr &&
+             loaded.status().code() == StatusCode::kNotFound) {
+    scenario = entry->make();
+  } else {
+    std::fprintf(stderr, "aitia: %s\n", loaded.status().ToString().c_str());
+    return kExitInputError;
+  }
+
+  if (!json) {
+    std::fprintf(stderr, "scenario   : %s (%s, %s)\n", scenario.id.c_str(),
+                 scenario.subsystem.c_str(), scenario.bug_kind.c_str());
+  }
+  AitiaReport report = DiagnoseScenario(scenario);
+  std::printf("%s\n", json ? ReportToJson(report, *scenario.image).c_str()
+                           : report.Render(*scenario.image).c_str());
+  if (!report.diagnosed) {
+    return kExitNotDiagnosed;
+  }
+  return (report.degraded || !report.status.ok()) ? kExitDegraded : kExitDiagnosed;
+}

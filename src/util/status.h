@@ -24,6 +24,8 @@ enum class StatusCode {
   kUnavailable,         // transient loss of the run (injected or real fault)
   kFailedPrecondition,  // the request could not be attempted at all
   kInternal,            // invariant violation inside the pipeline
+  kInvalidArgument,     // malformed input (trace parse / semantic errors)
+  kNotFound,            // named entity (scenario, file) does not exist
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -35,6 +37,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
   }
   return "?";
 }
@@ -59,6 +63,10 @@ class Status {
     return {StatusCode::kFailedPrecondition, std::move(m)};
   }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,0 +1,99 @@
+// Tests for the .ait serializer (src/ingest/serialize).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/bugs/registry.h"
+#include "src/ingest/ingest.h"
+
+namespace aitia {
+namespace {
+
+BugScenario Reparse(const std::string& ait, const std::string& name) {
+  StatusOr<BugScenario> got = ScenarioFromAitText(ait, name);
+  EXPECT_TRUE(got.ok()) << got.status().ToString() << "\n" << ait;
+  return got.ok() ? *std::move(got) : BugScenario{};
+}
+
+// serialize(parse(serialize(s))) == serialize(s): after one round trip the
+// text form is a fixed point, for every corpus scenario.
+TEST(SerializeTest, CorpusSerializationIsIdempotent) {
+  for (const ScenarioEntry& entry : AllScenarios()) {
+    SCOPED_TRACE(entry.id);
+    const std::string first = ScenarioToAit(entry.make());
+    BugScenario reparsed = Reparse(first, std::string(entry.id) + ".ait");
+    ASSERT_NE(reparsed.image, nullptr);
+    EXPECT_EQ(ScenarioToAit(reparsed), first);
+  }
+}
+
+TEST(SerializeTest, EmitsVersionHeaderAndScenarioId) {
+  const std::string ait = ScenarioToAit(MakeScenario("fig-1"));
+  EXPECT_NE(ait.find("ait 1\n"), std::string::npos);
+  // "fig-1" is a bare name, so the id needs no quotes.
+  EXPECT_NE(ait.find("scenario fig-1\n"), std::string::npos);
+  EXPECT_NE(ait.find("program "), std::string::npos);
+  EXPECT_NE(ait.find("slice "), std::string::npos);
+}
+
+TEST(SerializeTest, PointerGlobalUsesAmpersandReference) {
+  // fig-1's `ptr` global is initialized to another global's address; the
+  // serializer must recover the symbolic `&name` form, not the raw number.
+  BugScenario s = MakeScenario("fig-1");
+  const std::string ait = ScenarioToAit(s);
+  EXPECT_NE(ait.find(" &"), std::string::npos) << ait;
+  // And it must survive a round trip bit-exactly.
+  BugScenario reparsed = Reparse(ait, "fig1.ait");
+  ASSERT_NE(reparsed.image, nullptr);
+  ASSERT_EQ(reparsed.image->globals().size(), s.image->globals().size());
+  for (size_t i = 0; i < s.image->globals().size(); ++i) {
+    EXPECT_EQ(reparsed.image->globals()[i].init, s.image->globals()[i].init);
+  }
+}
+
+TEST(SerializeTest, BranchTargetsBecomeLabels) {
+  const std::string ait = ScenarioToAit(MakeScenario("fig-1"));
+  EXPECT_NE(ait.find("label L"), std::string::npos) << ait;
+}
+
+TEST(SerializeTest, ThreadNamesWithPunctuationAreQuoted) {
+  // Corpus thread names like "bind()" need quoting to lex as one token.
+  const std::string ait = ScenarioToAit(MakeScenario("CVE-2017-15649"));
+  EXPECT_NE(ait.find("\"bind()\""), std::string::npos) << ait;
+}
+
+TEST(SerializeTest, DefaultClausesAreElided) {
+  const std::string ait = ScenarioToAit(MakeScenario("fig-1"));
+  // arg 0 / kind syscall / zero offsets are defaults — never printed.
+  EXPECT_EQ(ait.find("arg 0"), std::string::npos) << ait;
+  EXPECT_EQ(ait.find("kind syscall"), std::string::npos) << ait;
+}
+
+TEST(SerializeTest, NotesSurviveWithEscaping) {
+  BugScenario s = MakeScenario("fig-1");
+  const std::string ait = ScenarioToAit(s);
+  EXPECT_NE(ait.find("note \""), std::string::npos);
+  BugScenario reparsed = Reparse(ait, "fig1.ait");
+  ASSERT_NE(reparsed.image, nullptr);
+  const Program& a = s.image->programs()[0];
+  const Program& b = reparsed.image->programs()[0];
+  ASSERT_EQ(a.code.size(), b.code.size());
+  for (size_t pc = 0; pc < a.code.size(); ++pc) {
+    EXPECT_EQ(a.code[pc].note, b.code[pc].note);
+  }
+}
+
+TEST(SerializeTest, IrqLinesRoundTrip) {
+  BugScenario s = MakeScenario("ext-irq");
+  ASSERT_FALSE(s.irq_lines.empty());
+  const std::string ait = ScenarioToAit(s);
+  EXPECT_NE(ait.find("\nirq "), std::string::npos) << ait;
+  BugScenario reparsed = Reparse(ait, "ext_irq.ait");
+  ASSERT_EQ(reparsed.irq_lines.size(), s.irq_lines.size());
+  EXPECT_EQ(reparsed.irq_lines[0].handler, s.irq_lines[0].handler);
+  EXPECT_EQ(reparsed.irq_lines[0].arg, s.irq_lines[0].arg);
+}
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,247 @@
+// Strict JSON well-formedness checker for tests.
+//
+// A minimal recursive-descent validator of RFC 8259 grammar: objects,
+// arrays, strings (with full escape checking — raw control characters and
+// bad \u sequences are rejected), numbers, and literals. Used to assert
+// that ReportToJson emits genuinely parseable JSON instead of relying on
+// substring matching and brace counting.
+
+#ifndef TESTS_JSON_CHECKER_H_
+#define TESTS_JSON_CHECKER_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace aitia {
+namespace testing_json {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  // True if `text` is exactly one valid JSON value (plus whitespace).
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing data after top-level value");
+    }
+    return true;
+  }
+
+  // Human-readable reason of the first failure ("" when valid).
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) {
+      return Fail("expected string");
+    }
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return Fail("dangling escape");
+        }
+        const char e = text_[pos_];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' || e == 'n' ||
+            e == 'r' || e == 't') {
+          ++pos_;
+          continue;
+        }
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          continue;
+        }
+        return Fail("unknown escape");
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    Eat('-');
+    if (!std::isdigit(Cur())) {
+      return Fail("bad number");
+    }
+    if (Eat('0')) {
+      // no leading zeros
+    } else {
+      while (std::isdigit(Cur())) ++pos_;
+    }
+    if (Eat('.')) {
+      if (!std::isdigit(Cur())) {
+        return Fail("bad fraction");
+      }
+      while (std::isdigit(Cur())) ++pos_;
+    }
+    if (Cur() == 'e' || Cur() == 'E') {
+      ++pos_;
+      if (Cur() == '+' || Cur() == '-') ++pos_;
+      if (!std::isdigit(Cur())) {
+        return Fail("bad exponent");
+      }
+      while (std::isdigit(Cur())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    if (depth_ > 64) {
+      return Fail("nesting too deep");
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return Object();
+    }
+    if (c == '[') {
+      return Array();
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    return Number();
+  }
+
+  bool Object() {
+    ++depth_;
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Fail("expected ':'");
+      }
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat('}')) {
+        --depth_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    ++depth_;
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat(']')) {
+        --depth_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  unsigned char Cur() const {
+    return pos_ < text_.size() ? static_cast<unsigned char>(text_[pos_]) : 0;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+inline bool IsValidJson(std::string_view text, std::string* why = nullptr) {
+  JsonChecker checker(text);
+  const bool ok = checker.Valid();
+  if (!ok && why != nullptr) {
+    *why = checker.error();
+  }
+  return ok;
+}
+
+}  // namespace testing_json
+}  // namespace aitia
+
+#endif  // TESTS_JSON_CHECKER_H_
