@@ -1,0 +1,189 @@
+// Parallel LIFS frontier exploration — worker-count sweep (DESIGN.md §9).
+//
+// Runs LIFS on the multi-interleaving corpus scenarios at several worker
+// counts, verifies that every parallel result is identical to the serial
+// one (the §9 determinism contract), and writes the timing sweep to
+// BENCH_parallel_lifs.json:
+//
+//   $ bench_parallel_lifs                              # defaults below
+//   $ bench_parallel_lifs --workers=1,2,4 --repeat=9 \
+//         --scenarios=CVE-2017-15649,syz-02 --out=sweep.json
+//
+// Per (scenario, workers) cell the minimum wall time over --repeat runs is
+// reported (minimum, not mean: scheduling noise only ever adds time).
+// Speedups are relative to the measured workers=1 cell of the same binary;
+// hardware_concurrency is recorded so single-CPU CI hosts are readable as
+// such.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bugs/registry.h"
+#include "src/core/lifs.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace {
+
+using namespace aitia;
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    if (comma > start) {
+      out.push_back(text.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+// The fields the serial/parallel contract pins down, flattened for equality.
+std::string ResultKey(const LifsResult& r) {
+  return StrFormat("reproduced=%d k=%d executed=%lld pruned=%lld schedule=%s", r.reproduced ? 1 : 0,
+                   r.interleaving_count, static_cast<long long>(r.schedules_executed),
+                   static_cast<long long>(r.schedules_pruned),
+                   r.failing_schedule.ToString().c_str());
+}
+
+struct Cell {
+  size_t workers = 0;
+  double seconds = 0;
+  int64_t schedules = 0;
+  int64_t speculative = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> workers = {1, 2, 4, 8};
+  std::vector<std::string> scenario_ids;
+  int repeat = 5;
+  std::string out_path = "BENCH_parallel_lifs.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers.clear();
+      for (const std::string& w : SplitCsv(arg.substr(10))) {
+        workers.push_back(static_cast<size_t>(std::strtoull(w.c_str(), nullptr, 10)));
+      }
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      scenario_ids = SplitCsv(arg.substr(12));
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_lifs [--workers=1,2,4,8] [--scenarios=id,...]\n"
+                   "                           [--repeat=N] [--out=FILE.json]\n");
+      return 2;
+    }
+  }
+  if (repeat < 1) {
+    repeat = 1;
+  }
+  if (scenario_ids.empty()) {
+    // Default to the bugs that need k >= 2: their frontiers are the widest,
+    // so they are where parallel exploration can actually help.
+    for (const ScenarioEntry& e : AllScenarios()) {
+      if (e.make().truth.expected_interleavings >= 2) {
+        scenario_ids.push_back(e.id);
+      }
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("=== Parallel LIFS sweep (hardware_concurrency=%u) ===\n\n", hw);
+
+  std::string json = StrFormat("{\n  \"hardware_concurrency\": %u,\n  \"repeat\": %d,\n"
+                               "  \"scenarios\": [\n", hw, repeat);
+  bool all_identical = true;
+  for (size_t si = 0; si < scenario_ids.size(); ++si) {
+    const std::string& id = scenario_ids[si];
+    const ScenarioEntry* entry = FindScenario(id);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "bench_parallel_lifs: unknown scenario '%s'\n", id.c_str());
+      return 2;
+    }
+    BugScenario s = entry->make();
+
+    std::vector<Cell> cells;
+    std::string serial_key;
+    double serial_seconds = 0;
+    for (size_t w : workers) {
+      Cell cell;
+      cell.workers = w;
+      cell.seconds = -1;
+      for (int rep = 0; rep < repeat; ++rep) {
+        LifsOptions options;
+        options.target_type = s.truth.failure_type;
+        options.workers = w;
+        Lifs lifs(s.image.get(), s.slice, s.setup, options);
+        Stopwatch watch;
+        LifsResult r = lifs.Run();
+        const double elapsed = watch.ElapsedSeconds();
+        if (cell.seconds < 0 || elapsed < cell.seconds) {
+          cell.seconds = elapsed;
+        }
+        cell.schedules = r.schedules_executed;
+        cell.speculative = r.speculative_runs;
+        const std::string key = ResultKey(r);
+        if (w == workers.front() && rep == 0) {
+          serial_key = key;
+        }
+        cell.identical = key == serial_key;
+        all_identical = all_identical && cell.identical;
+      }
+      if (w == workers.front()) {
+        serial_seconds = cell.seconds;
+      }
+      cells.push_back(cell);
+    }
+
+    std::printf("%-18s", id.c_str());
+    for (const Cell& c : cells) {
+      std::printf("  w=%zu %8.3fms (x%.2f%s)", c.workers, c.seconds * 1e3,
+                  c.seconds > 0 ? serial_seconds / c.seconds : 0.0, c.identical ? "" : " DIFF!");
+    }
+    std::printf("\n");
+
+    json += StrFormat("    {\"id\": \"%s\", \"schedules\": %lld, \"sweep\": [", id.c_str(),
+                      static_cast<long long>(cells.front().schedules));
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
+      const Cell& c = cells[ci];
+      json += StrFormat("%s{\"workers\": %zu, \"seconds\": %.6f, \"speedup\": %.3f, "
+                        "\"speculative_runs\": %lld, \"identical_to_serial\": %s}",
+                        ci == 0 ? "" : ", ", c.workers, c.seconds,
+                        c.seconds > 0 ? serial_seconds / c.seconds : 0.0,
+                        static_cast<long long>(c.speculative), c.identical ? "true" : "false");
+    }
+    json += StrFormat("]}%s\n", si + 1 == scenario_ids.size() ? "" : ",");
+  }
+  json += "  ]\n}\n";
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_parallel_lifs: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "bench_parallel_lifs: PARALLEL RESULT DIVERGED FROM SERIAL\n");
+    return 1;
+  }
+  return 0;
+}

@@ -14,3 +14,4 @@ aitia_bench(bench_conciseness)
 aitia_bench(bench_comparison)
 aitia_bench(bench_ablation)
 aitia_bench(bench_micro)
+aitia_bench(bench_parallel_lifs)

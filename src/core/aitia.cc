@@ -8,6 +8,14 @@
 
 namespace aitia {
 
+AitiaOptions& AitiaOptions::set_jobs(size_t jobs) {
+  const size_t resolved = ThreadPool::ResolveWorkers(jobs);
+  lifs.workers = resolved;
+  causality.workers = resolved;
+  reproducer_workers = resolved;
+  return *this;
+}
+
 std::string AitiaReport::Render(const KernelImage& image) const {
   std::string out;
   if (!diagnosed) {

@@ -34,6 +34,12 @@ struct AitiaOptions {
   size_t reproducer_workers = 1;
   // Cap on candidate slices attempted.
   size_t max_slices = 16;
+
+  // Applies one worker count to every parallel stage of the pipeline: LIFS
+  // frontier exploration, causality flip tests, and the slice reproducers.
+  // 0 resolves to the hardware concurrency (the CLI's --jobs flag lands
+  // here). Per-stage fields can still be set individually afterwards.
+  AitiaOptions& set_jobs(size_t jobs);
 };
 
 struct AitiaReport {

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace aitia {
 namespace {
@@ -19,7 +21,144 @@ SupervisorOptions LifsSupervisorOptions(const LifsOptions& options) {
   return so;
 }
 
+// Access-pattern fingerprint of one run; pure function of the trace, so
+// parallel workers can compute it off the merge path.
+std::string TraceFingerprint(const RunResult& run) {
+  std::string fp;
+  for (const ExecEvent& e : run.trace) {
+    if (e.is_access) {
+      fp += StrFormat("%d.%d.%d.%d.%llu.%d;", e.di.tid, e.di.at.prog, e.di.at.pc,
+                      e.di.occurrence, static_cast<unsigned long long>(e.addr),
+                      e.is_write ? 1 : 0);
+    }
+  }
+  return fp;
+}
+
+// Schedules dispatched per barrier and worker. Larger batches amortize the
+// merge barrier; smaller ones waste less speculative work once the winner is
+// inside the batch. The merged result is identical either way.
+constexpr size_t kBatchPerWorker = 4;
+
 }  // namespace
+
+// Enumerates one depth-k pass of the search space in the exact order the
+// serial loop walks it: k-point tuples front-to-back (candidate-major,
+// lexicographic over the encoded candidate×variant space, adjacent-pair
+// constraints applied), each tuple crossed with every base order.
+class Lifs::PassFrontier {
+ public:
+  PassFrontier(std::vector<KnownAccess> candidates, size_t stride, size_t k,
+               const std::vector<std::vector<ThreadId>>* perms,
+               const std::vector<IrqLine>* irq_lines)
+      : candidates_(std::move(candidates)),
+        stride_(stride),
+        k_(k),
+        perms_(perms),
+        irq_lines_(irq_lines) {}
+
+  std::optional<PreemptionSchedule> Next() {
+    if (done_) {
+      return std::nullopt;
+    }
+    if (first_) {
+      first_ = false;
+      tuple_.clear();
+      if (k_ > 0 && !Extend(0)) {
+        done_ = true;
+        return std::nullopt;
+      }
+      perm_idx_ = 0;
+    }
+    if (perm_idx_ >= perms_->size()) {
+      if (!NextTuple()) {
+        done_ = true;
+        return std::nullopt;
+      }
+      perm_idx_ = 0;
+    }
+    PreemptionSchedule schedule;
+    schedule.base_order = (*perms_)[perm_idx_++];
+    schedule.points.reserve(tuple_.size());
+    for (size_t e : tuple_) {
+      schedule.points.push_back(DecodePoint(e));
+    }
+    return schedule;
+  }
+
+ private:
+  // Grows tuple_ to length k_, trying encoded values from `start` upward at
+  // the current level and from 0 at deeper levels (lexicographic DFS).
+  bool Extend(size_t start) {
+    for (size_t e = start; e < candidates_.size() * stride_; ++e) {
+      if (!ValidAppend(e)) {
+        continue;
+      }
+      tuple_.push_back(e);
+      if (tuple_.size() == k_ || Extend(0)) {
+        return true;
+      }
+      tuple_.pop_back();
+    }
+    return false;
+  }
+
+  bool NextTuple() {
+    if (k_ == 0) {
+      return false;  // the single empty tuple was already yielded
+    }
+    while (!tuple_.empty()) {
+      const size_t last = tuple_.back();
+      tuple_.pop_back();
+      if (Extend(last + 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool ValidAppend(size_t e) const {
+    if (tuple_.empty()) {
+      return true;
+    }
+    const size_t i = e / stride_;
+    const size_t prev = tuple_.back() / stride_;
+    if (i == prev) {
+      return false;  // cannot preempt twice at the same dynamic instr
+    }
+    if (candidates_[i].di.tid == candidates_[prev].di.tid &&
+        candidates_[i].first_pos <= candidates_[prev].first_pos) {
+      return false;  // same thread must advance front-to-back
+    }
+    return true;
+  }
+
+  // Each candidate yields a stop-after and a stop-before variant (the latter
+  // is the hypervisor's breakpoint-hit semantics), plus, per configured IRQ
+  // line, inject-after and inject-before variants (§4.6 extension).
+  PreemptPoint DecodePoint(size_t e) const {
+    PreemptPoint point;
+    point.after = candidates_[e / stride_].di;
+    const size_t variant = e % stride_;
+    point.before = (variant % 2) != 0;
+    if (variant >= 2) {
+      const IrqLine& line = (*irq_lines_)[(variant - 2) / 2];
+      point.inject_irq = line.handler;
+      point.irq_arg = line.arg;
+    }
+    return point;
+  }
+
+  std::vector<KnownAccess> candidates_;
+  size_t stride_;
+  size_t k_;
+  const std::vector<std::vector<ThreadId>>* perms_;
+  const std::vector<IrqLine>* irq_lines_;
+  std::vector<size_t> tuple_;
+  size_t perm_idx_ = 0;
+  bool first_ = true;
+  bool done_ = false;
+};
 
 Lifs::Lifs(const KernelImage* image, std::vector<ThreadSpec> slice,
            std::vector<ThreadSpec> setup, LifsOptions options)
@@ -144,18 +283,13 @@ bool Lifs::Execute(const PreemptionSchedule& schedule, int interleavings) {
     ++result_.aborted_runs;
     return false;
   }
-  EnforceResult& er = *supervised;
-  Learn(er.run);
+  return Absorb(*supervised, schedule, interleavings, TraceFingerprint(supervised->run));
+}
 
-  std::string fp;
-  for (const ExecEvent& e : er.run.trace) {
-    if (e.is_access) {
-      fp += StrFormat("%d.%d.%d.%d.%llu.%d;", e.di.tid, e.di.at.prog, e.di.at.pc,
-                      e.di.occurrence, static_cast<unsigned long long>(e.addr),
-                      e.is_write ? 1 : 0);
-    }
-  }
-  const bool fresh = fingerprints_.insert(fp).second;
+bool Lifs::Absorb(EnforceResult& er, const PreemptionSchedule& schedule, int interleavings,
+                  std::string fingerprint) {
+  Learn(er.run);
+  const bool fresh = fingerprints_.insert(std::move(fingerprint)).second;
   const bool matched = MatchesTarget(er.run.failure);
   if (options_.keep_explored) {
     result_.explored.push_back(
@@ -166,6 +300,82 @@ bool Lifs::Execute(const PreemptionSchedule& schedule, int interleavings) {
     return true;
   }
   return false;
+}
+
+bool Lifs::RunFrontier(const FrontierFn& next, int interleavings, ThreadPool* pool) {
+  if (pool == nullptr) {
+    // Serial walk: one schedule at a time, in frontier order.
+    while (!SearchCutShort()) {
+      std::optional<PreemptionSchedule> schedule = next();
+      if (!schedule.has_value()) {
+        return false;
+      }
+      if (Execute(*schedule, interleavings)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Parallel walk: pull a batch of not-yet-tried schedules (clamped to the
+  // remaining schedule budget, so the dispatched set is exactly the serial
+  // prefix), execute it across the pool, then merge results at the barrier
+  // in frontier order. Knowledge, fingerprints, counters, and the winner are
+  // therefore identical to the serial walk; only runs past the canonical
+  // stop point are discarded (counted as speculative_runs).
+  const size_t batch_target = pool->worker_count() * kBatchPerWorker;
+  std::vector<PreemptionSchedule> batch;
+  std::vector<std::string> keys;
+  for (;;) {
+    if (SearchCutShort()) {
+      return false;
+    }
+    batch.clear();
+    keys.clear();
+    const int64_t room = options_.max_schedules - result_.schedules_executed;
+    while (batch.size() < batch_target && static_cast<int64_t>(batch.size()) < room) {
+      std::optional<PreemptionSchedule> schedule = next();
+      if (!schedule.has_value()) {
+        break;
+      }
+      std::string key = schedule->ToString();
+      if (!tried_schedules_.insert(key).second) {
+        continue;  // exact schedule already run
+      }
+      batch.push_back(std::move(*schedule));
+      keys.push_back(std::move(key));
+    }
+    if (batch.empty()) {
+      return false;  // frontier exhausted (budget expiry exits at the top)
+    }
+
+    struct BatchRun {
+      StatusOr<EnforceResult> supervised = Status::Unavailable("not run");
+      std::string fingerprint;
+    };
+    std::vector<BatchRun> runs(batch.size());
+    const uint64_t nonce_base = static_cast<uint64_t>(result_.schedules_executed);
+    ParallelFor(*pool, batch.size(), [&](size_t i) {
+      runs[i].supervised =
+          supervisor_.RunPreemption(slice_, batch[i], setup_, nonce_base + i);
+      if (runs[i].supervised.ok()) {
+        runs[i].fingerprint = TraceFingerprint(runs[i].supervised->run);
+      }
+    });
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++result_.schedules_executed;
+      if (!runs[i].supervised.ok()) {
+        ++result_.aborted_runs;
+        continue;
+      }
+      if (Absorb(*runs[i].supervised, batch[i], interleavings,
+                 std::move(runs[i].fingerprint))) {
+        result_.speculative_runs += static_cast<int64_t>(batch.size() - i - 1);
+        return true;
+      }
+    }
+  }
 }
 
 void Lifs::FinalizeFailingRun(const RunResult& run, const PreemptionSchedule& schedule,
@@ -264,11 +474,31 @@ LifsResult Lifs::RunSearch() {
     } while (std::next_permutation(perm.begin(), perm.end()));
   }
 
+  // Frontier workers: every run is an independent deterministic simulation,
+  // so the only cross-run coupling is the canonical-order merge in Absorb.
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (ThreadPool::ResolveWorkers(options_.workers) > 1) {
+    pool_storage.emplace(options_.workers);
+    pool = &*pool_storage;
+  }
+
+  auto finish = [&]() -> LifsResult& {
+    result_.seconds = watch.ElapsedSeconds();
+    return result_;
+  };
+
   // Interleaving count 0: sequential orders (also the discovery runs).
-  for (const auto& perm : perms) {
-    if (Execute({perm, {}}, 0)) {
-      result_.seconds = watch.ElapsedSeconds();
-      return result_;
+  {
+    size_t next_perm = 0;
+    FrontierFn frontier = [&]() -> std::optional<PreemptionSchedule> {
+      if (next_perm >= perms.size()) {
+        return std::nullopt;
+      }
+      return PreemptionSchedule{perms[next_perm++], {}};
+    };
+    if (RunFrontier(frontier, 0, pool)) {
+      return finish();
     }
   }
 
@@ -292,14 +522,19 @@ LifsResult Lifs::RunSearch() {
       }
     }
     if (have_access) {
-      for (const IrqLine& line : options_.irq_lines) {
+      size_t next_line = 0;
+      FrontierFn frontier = [&]() -> std::optional<PreemptionSchedule> {
+        if (next_line >= options_.irq_lines.size()) {
+          return std::nullopt;
+        }
+        const IrqLine& line = options_.irq_lines[next_line++];
         PreemptionSchedule schedule;
         schedule.base_order = perms.front();
         schedule.points = {{first_access, /*before=*/true, kNoThread, line.handler, line.arg}};
-        if (Execute(schedule, 1)) {
-          result_.seconds = watch.ElapsedSeconds();
-          return result_;
-        }
+        return schedule;
+      };
+      if (RunFrontier(frontier, 1, pool)) {
+        return finish();
       }
     }
   }
@@ -309,8 +544,7 @@ LifsResult Lifs::RunSearch() {
     // flows); regenerate candidates until a full pass adds nothing new.
     for (;;) {
       if (SearchCutShort()) {
-        result_.seconds = watch.ElapsedSeconds();
-        return result_;
+        return finish();
       }
       std::vector<KnownAccess> candidates = ConflictCandidates();
       size_t total_known = 0;
@@ -327,83 +561,18 @@ LifsResult Lifs::RunSearch() {
 
       const size_t known_before = total_known;
 
-      // Enumerate k-point tuples front-to-back (candidate-major). Each
-      // candidate yields a stop-after and a stop-before variant (the latter
-      // is the hypervisor's breakpoint-hit semantics), plus, per configured
-      // IRQ line, inject-after and inject-before variants (§4.6 extension).
-      // Same-thread points must advance in program position.
+      // One pass over the depth-k frontier. Candidates are a snapshot:
+      // knowledge learned mid-pass only affects the next pass, exactly as in
+      // the serial walk (the pass's schedule set is fixed at pass start).
       const size_t stride = 2 + 2 * options_.irq_lines.size();
-      std::vector<size_t> tuple;  // encoded: idx * stride + variant
-      bool found = false;
-      bool exhausted = false;
-
-      auto decode_point = [&](size_t e) -> PreemptPoint {
-        PreemptPoint point;
-        point.after = candidates[e / stride].di;
-        const size_t variant = e % stride;
-        point.before = (variant % 2) != 0;
-        if (variant >= 2) {
-          const IrqLine& line = options_.irq_lines[(variant - 2) / 2];
-          point.inject_irq = line.handler;
-          point.irq_arg = line.arg;
-        }
-        return point;
-      };
-
-      auto run_tuple = [&](const std::vector<size_t>& encoded) -> bool {
-        std::vector<PreemptPoint> points;
-        points.reserve(encoded.size());
-        for (size_t e : encoded) {
-          points.push_back(decode_point(e));
-        }
-        for (const auto& perm : perms) {
-          if (SearchCutShort()) {
-            exhausted = true;
-            return false;
-          }
-          if (Execute({perm, points}, k)) {
-            return true;
-          }
-        }
-        return false;
-      };
-
-      std::function<bool(size_t)> enumerate = [&](size_t depth) -> bool {
-        if (depth == static_cast<size_t>(k)) {
-          return run_tuple(tuple);
-        }
-        for (size_t e = 0; e < candidates.size() * stride; ++e) {
-          if (exhausted) {
-            return false;
-          }
-          const size_t i = e / stride;
-          if (!tuple.empty()) {
-            size_t prev = tuple.back() / stride;
-            if (i == prev) {
-              continue;  // cannot preempt twice at the same dynamic instr
-            }
-            if (candidates[i].di.tid == candidates[prev].di.tid &&
-                candidates[i].first_pos <= candidates[prev].first_pos) {
-              continue;  // same thread must advance front-to-back
-            }
-          }
-          tuple.push_back(e);
-          if (enumerate(depth + 1)) {
-            return true;
-          }
-          tuple.pop_back();
-        }
-        return false;
-      };
-
-      found = enumerate(0);
-      if (found) {
-        result_.seconds = watch.ElapsedSeconds();
-        return result_;
+      PassFrontier pass(std::move(candidates), stride, static_cast<size_t>(k), &perms,
+                        &options_.irq_lines);
+      FrontierFn frontier = [&pass]() { return pass.Next(); };
+      if (RunFrontier(frontier, k, pool)) {
+        return finish();
       }
-      if (exhausted) {
-        result_.seconds = watch.ElapsedSeconds();
-        return result_;
+      if (SearchCutShort()) {
+        return finish();
       }
 
       size_t known_after = 0;
@@ -417,8 +586,7 @@ LifsResult Lifs::RunSearch() {
     }
   }
 
-  result_.seconds = watch.ElapsedSeconds();
-  return result_;
+  return finish();
 }
 
 }  // namespace aitia

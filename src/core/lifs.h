@@ -19,10 +19,16 @@
 // in it (including "phantom" races against instructions the failure
 // preempted — e.g. the B17 => A12 race of Figure 6 where A12 never executed
 // in the failing run but is known from complete runs).
+//
+// With LifsOptions::workers > 1 the frontier of each search level is
+// executed in parallel batches (every run is an independent deterministic
+// simulation) and merged back in canonical order at batch barriers, so the
+// result — winner, races, counters — is bit-identical to the serial walk.
 
 #ifndef SRC_CORE_LIFS_H_
 #define SRC_CORE_LIFS_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -37,6 +43,8 @@
 #include "src/util/stopwatch.h"
 
 namespace aitia {
+
+class ThreadPool;
 
 struct LifsOptions {
   int max_interleavings = 3;
@@ -60,6 +68,14 @@ struct LifsOptions {
   // Wall-clock deadline for the whole search; 0 disables. On expiry the
   // search stops with result.status = kDeadlineExceeded (not reproduced).
   double search_deadline_seconds = 0;
+  // Parallel frontier exploration: number of worker threads executing
+  // candidate schedules concurrently (0 picks the hardware concurrency,
+  // 1 keeps the fully serial walk). Every run is an independent
+  // deterministic simulation, so the frontier of each search level is
+  // dispatched in batches across a ThreadPool and merged back in canonical
+  // (fewest-preemptions, front-to-back) order — the result is bit-identical
+  // to the serial search for any worker count (see DESIGN.md §9).
+  size_t workers = 1;
 };
 
 struct ExploredSchedule {
@@ -97,7 +113,14 @@ struct LifsResult {
   Status status;
   // Runs lost to supervision (every attempt failed); the search skips them.
   int64_t aborted_runs = 0;
-  // Supervision accounting across all runs of this search.
+  // Schedules executed past the canonical stop point (parallel batches run a
+  // few schedules the serial walk never reaches once the winner is found or
+  // the budget expires; their results are discarded at the merge barrier).
+  // Always 0 for the serial search; excluded from schedules_executed.
+  int64_t speculative_runs = 0;
+  // Supervision accounting across all runs of this search. Includes the
+  // speculative overshoot, so parallel budgets may exceed serial ones even
+  // though every other field of this result is identical.
   RunBudget budget;
   double seconds = 0;
   std::vector<ThreadId> slice_tids;
@@ -120,10 +143,26 @@ class Lifs {
     int64_t first_pos = 0;  // discovery position within its thread
   };
 
+  // Generates one search level's candidate schedules in the canonical
+  // serial order (tuples lexicographic front-to-back, then base orders).
+  class PassFrontier;
+  // A frontier is any generator yielding candidate schedules in canonical
+  // order; nullopt means exhausted.
+  using FrontierFn = std::function<std::optional<PreemptionSchedule>()>;
+
   bool MatchesTarget(const std::optional<Failure>& failure) const;
   // Runs one schedule, updates knowledge; returns true if the failure was
   // reproduced (result_ is then final).
   bool Execute(const PreemptionSchedule& schedule, int interleavings);
+  // Shared post-run bookkeeping: learns from the run, records fingerprints
+  // and explored schedules, finalizes on a symptom match. Must be called in
+  // canonical schedule order. Returns true on a match.
+  bool Absorb(EnforceResult& er, const PreemptionSchedule& schedule, int interleavings,
+              std::string fingerprint);
+  // Walks one frontier to exhaustion, a match, or a budget cut. Serial when
+  // `pool` is null; otherwise dispatches batches across the pool and merges
+  // at batch barriers. Returns true if the failure was reproduced.
+  bool RunFrontier(const FrontierFn& next, int interleavings, ThreadPool* pool);
   void Learn(const RunResult& run);
   std::vector<KnownAccess> ConflictCandidates() const;
   void FinalizeFailingRun(const RunResult& run, const PreemptionSchedule& schedule,

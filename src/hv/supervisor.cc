@@ -41,10 +41,20 @@ RunBudget Supervisor::budget() const {
 }
 
 StatusOr<EnforceResult> Supervisor::Supervise(const RunFn& run, uint64_t nonce) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++budget_.runs;
-  }
+  // Accounting accumulates in a local delta and lands in the shared budget
+  // under a single lock per logical run: parallel LIFS frontier workers and
+  // causality diagnosers all funnel through one Supervisor instance, so the
+  // budget mutex sits on their hot path.
+  RunBudget delta;
+  StatusOr<EnforceResult> out = SuperviseAccounted(run, nonce, delta);
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_.Merge(delta);
+  return out;
+}
+
+StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_t nonce,
+                                                       RunBudget& delta) {
+  ++delta.runs;
   const int max_attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
   Status last;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -66,16 +76,13 @@ StatusOr<EnforceResult> Supervisor::Supervise(const RunFn& run, uint64_t nonce) 
     }
 
     EnforceResult er = run(eo);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++budget_.attempts;
-      budget_.steps += er.steps;
-      budget_.injected_faults += injector.counters().total();
-      switch (er.status.code()) {
-        case StatusCode::kDeadlineExceeded: ++budget_.deadline_expirations; break;
-        case StatusCode::kAborted: ++budget_.watchdog_trips; break;
-        default: break;
-      }
+    ++delta.attempts;
+    delta.steps += er.steps;
+    delta.injected_faults += injector.counters().total();
+    switch (er.status.code()) {
+      case StatusCode::kDeadlineExceeded: ++delta.deadline_expirations; break;
+      case StatusCode::kAborted: ++delta.watchdog_trips; break;
+      default: break;
     }
 
     // kResourceExhausted (step budget) is a *scored* outcome, not a lost
@@ -83,8 +90,7 @@ StatusOr<EnforceResult> Supervisor::Supervise(const RunFn& run, uint64_t nonce) 
     // knows how to discount, and a deterministic re-run would only spend the
     // budget again.
     if (er.status.ok() || er.status.code() == StatusCode::kResourceExhausted) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++budget_.completed;
+      ++delta.completed;
       return er;
     }
     last = er.status;
@@ -94,20 +100,14 @@ StatusOr<EnforceResult> Supervisor::Supervise(const RunFn& run, uint64_t nonce) 
     if (!retryable || attempt + 1 >= max_attempts) {
       break;
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++budget_.retries;
-    }
+    ++delta.retries;
     if (options_.backoff_ms_cap > 0) {
       // Deterministic seeded jitter: the sleep length is a pure function of
       // (retry_seed, nonce, attempt), so a replayed diagnosis spends the
       // same backoff schedule.
       Rng jitter(options_.retry_seed ^ FaultNonce(nonce, attempt));
       uint64_t ms = jitter.NextBelow(options_.backoff_ms_cap + 1);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        budget_.backoff_ms += static_cast<int64_t>(ms);
-      }
+      delta.backoff_ms += static_cast<int64_t>(ms);
       if (ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
       }
@@ -116,10 +116,7 @@ StatusOr<EnforceResult> Supervisor::Supervise(const RunFn& run, uint64_t nonce) 
                       << er.status.ToString() << " (attempt " << attempt + 1 << "/"
                       << max_attempts << ")";
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++budget_.exhausted;
-  }
+  ++delta.exhausted;
   if (last.ok()) {
     last = Status::Internal("supervision exhausted without a status");
   }

@@ -92,6 +92,9 @@ class Supervisor {
  private:
   using RunFn = std::function<EnforceResult(const EnforceOptions&)>;
   StatusOr<EnforceResult> Supervise(const RunFn& run, uint64_t nonce);
+  // Attempt loop proper; accumulates accounting into `delta` so Supervise
+  // can publish it to the shared budget under a single lock acquisition.
+  StatusOr<EnforceResult> SuperviseAccounted(const RunFn& run, uint64_t nonce, RunBudget& delta);
 
   const KernelImage* image_;
   SupervisorOptions options_;

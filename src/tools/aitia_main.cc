@@ -17,6 +17,7 @@
 //   3  diagnosis completed degraded (some flip tests exhausted their budget)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -35,9 +36,13 @@ constexpr int kExitDegraded = 3;
 
 int Usage(FILE* to) {
   std::fprintf(to,
-               "usage: aitia [--json] <trace.ait | scenario-id>\n"
+               "usage: aitia [--json] [--jobs N] <trace.ait | scenario-id>\n"
                "       aitia --emit <scenario-id>   # print a corpus scenario as .ait\n"
                "       aitia --list                 # list corpus scenario ids\n"
+               "\n"
+               "  --jobs N   worker threads for the search and flip-test stages\n"
+               "             (0 = hardware concurrency; results are identical\n"
+               "             for any worker count)\n"
                "\n"
                "exit codes: 0 diagnosed, 1 not diagnosed, 2 input error, 3 degraded\n");
   return to == stdout ? kExitDiagnosed : kExitInputError;
@@ -50,13 +55,37 @@ int main(int argc, char** argv) {
 
   bool json = false;
   bool emit = false;
+  bool jobs_set = false;
+  size_t jobs = 1;
   std::string input;
+  auto parse_jobs = [&](const std::string& text) -> bool {
+    if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "aitia: --jobs expects a non-negative integer, got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    jobs = static_cast<size_t>(std::strtoull(text.c_str(), nullptr, 10));
+    jobs_set = true;
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--emit") {
       emit = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aitia: --jobs needs a value\n");
+        return Usage(stderr);
+      }
+      if (!parse_jobs(argv[++i])) {
+        return kExitInputError;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_jobs(arg.substr(7))) {
+        return kExitInputError;
+      }
     } else if (arg == "--list") {
       for (const ScenarioEntry& e : AllScenarios()) {
         std::printf("%s\n", e.id);
@@ -108,7 +137,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scenario   : %s (%s, %s)\n", scenario.id.c_str(),
                  scenario.subsystem.c_str(), scenario.bug_kind.c_str());
   }
-  AitiaReport report = DiagnoseScenario(scenario);
+  AitiaOptions options;
+  if (jobs_set) {
+    options.set_jobs(jobs);
+  }
+  AitiaReport report = DiagnoseScenario(scenario, options);
   std::printf("%s\n", json ? ReportToJson(report, *scenario.image).c_str()
                            : report.Render(*scenario.image).c_str());
   if (!report.diagnosed) {

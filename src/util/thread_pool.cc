@@ -4,13 +4,16 @@
 
 namespace aitia {
 
-ThreadPool::ThreadPool(size_t workers) {
-  if (workers == 0) {
-    workers = std::thread::hardware_concurrency();
-    if (workers == 0) {
-      workers = 1;
-    }
+size_t ThreadPool::ResolveWorkers(size_t workers) {
+  if (workers != 0) {
+    return workers;
   }
+  const size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers = ResolveWorkers(workers);
   threads_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });

@@ -24,6 +24,12 @@ class ThreadPool {
   explicit ThreadPool(size_t workers = 0);
   ~ThreadPool();
 
+  // Resolves a requested worker count the way the constructor does: 0 picks
+  // the hardware concurrency (at least 1), anything else passes through.
+  // Callers that stay serial below 2 workers use this to decide whether to
+  // build a pool at all.
+  static size_t ResolveWorkers(size_t workers);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

@@ -102,5 +102,90 @@ TEST(FuzzerTest, CleanWorkloadNeverReportsFailure) {
   EXPECT_EQ(outcome.attempts, 50);
 }
 
+TEST(FuzzerTest, ExhaustedAttemptsReportExactCountAndNoHistory) {
+  // Same race-free workload: every attempt completes cleanly, so the fuzzer
+  // must burn exactly max_attempts attempts and emit nothing.
+  KernelImage image;
+  Addr a = image.AddGlobal("a", 0);
+  {
+    ProgramBuilder p("wa");
+    p.Lea(R1, a).StoreImm(R1, 1).Exit();
+    image.AddProgram(p.Build());
+  }
+  FuzzWorkload workload;
+  workload.image = &image;
+  workload.threads = {{"a", 0, 0, ThreadKind::kSyscall}, {"b", 0, 0, ThreadKind::kSyscall}};
+  FuzzOptions options;
+  options.max_attempts = 7;
+  FuzzOutcome outcome = FuzzUntilFailure(workload, options);
+  EXPECT_FALSE(outcome.found);
+  EXPECT_EQ(outcome.attempts, options.max_attempts);
+  EXPECT_EQ(outcome.seed, 0u);
+  EXPECT_TRUE(outcome.history.entries.empty());
+  EXPECT_FALSE(outcome.history.failure.has_value());
+
+  // Degenerate budget: zero attempts means zero work, not one free try.
+  options.max_attempts = 0;
+  outcome = FuzzUntilFailure(workload, options);
+  EXPECT_FALSE(outcome.found);
+  EXPECT_EQ(outcome.attempts, 0);
+}
+
+TEST(FuzzerTest, SetupResourcesLandInEmittedHistory) {
+  // A setup syscall publishes a pointer the concurrent threads then race on
+  // (deref vs. NULL-out), so the fuzzer always finds the failure and the
+  // emitted history must carry the setup thread's resource tag on both its
+  // enter and exit entries.
+  KernelImage image;
+  Addr data = image.AddGlobal("data", 1);
+  Addr ptr = image.AddGlobal("ptr", 0);
+  {
+    ProgramBuilder p("open_dev");  // setup: ptr = &data
+    p.Lea(R1, ptr).Lea(R2, data).Store(R1, R2).Exit();
+    image.AddProgram(p.Build());
+  }
+  {
+    ProgramBuilder p("use_dev");  // *(*ptr)
+    p.Lea(R1, ptr).Load(R2, R1).Load(R3, R2).Exit();
+    image.AddProgram(p.Build());
+  }
+  {
+    ProgramBuilder p("close_dev");  // ptr = NULL
+    p.Lea(R1, ptr).StoreImm(R1, 0).Exit();
+    image.AddProgram(p.Build());
+  }
+  FuzzWorkload workload;
+  workload.image = &image;
+  workload.setup = {{"open", 0, 0, ThreadKind::kSyscall}};
+  workload.setup_resources = {"fd:dev"};
+  workload.threads = {{"use", 1, 0, ThreadKind::kSyscall}, {"close", 2, 0, ThreadKind::kSyscall}};
+  workload.resources = {"fd:dev", "fd:dev"};
+
+  FuzzOutcome outcome = FuzzUntilFailure(workload);
+  ASSERT_TRUE(outcome.found);
+  ASSERT_TRUE(outcome.run.failure.has_value());
+  EXPECT_EQ(outcome.run.failure->type, FailureType::kNullDeref);
+
+  int setup_enters = 0;
+  int setup_exits = 0;
+  int tagged_concurrent_enters = 0;
+  for (const HistoryEntry& e : outcome.history.entries) {
+    if (e.timestamp < 0) {
+      EXPECT_EQ(e.resource, "fd:dev");
+      EXPECT_EQ(e.name, "open");
+      if (e.kind == HistoryKind::kSyscallEnter) {
+        ++setup_enters;
+      } else if (e.kind == HistoryKind::kSyscallExit) {
+        ++setup_exits;
+      }
+    } else if (e.kind == HistoryKind::kSyscallEnter && e.resource == "fd:dev") {
+      ++tagged_concurrent_enters;
+    }
+  }
+  EXPECT_EQ(setup_enters, 1);
+  EXPECT_EQ(setup_exits, 1);
+  EXPECT_EQ(tagged_concurrent_enters, 2);
+}
+
 }  // namespace
 }  // namespace aitia

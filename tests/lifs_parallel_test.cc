@@ -1,0 +1,173 @@
+// Serial/parallel equivalence of LIFS frontier exploration (DESIGN.md §9).
+//
+// The parallel search dispatches each level's frontier across a ThreadPool
+// and merges results in canonical order, so for ANY worker count the result
+// must be bit-identical to the fully serial walk: same failing schedule,
+// same races and phantom races, same reference streams, same counters, and
+// — with keep_explored — the same explored list in the same order.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/core/lifs.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace {
+
+std::string EventKey(const ExecEvent& e) {
+  return StrFormat("%lld:%d.%d.%d.%d %c a=%llu v=%llu", static_cast<long long>(e.seq), e.di.tid,
+                   e.di.at.prog, e.di.at.pc, e.di.occurrence, e.is_write ? 'w' : 'r',
+                   static_cast<unsigned long long>(e.addr),
+                   static_cast<unsigned long long>(e.value));
+}
+
+std::string RaceKey(const RacePair& p) {
+  return StrFormat("[%s | %s] cs=%d lock=%llu", EventKey(p.first).c_str(),
+                   EventKey(p.second).c_str(), p.cs_pair ? 1 : 0,
+                   static_cast<unsigned long long>(p.lock));
+}
+
+std::vector<std::string> RaceKeys(const std::vector<RacePair>& races) {
+  std::vector<std::string> keys;
+  keys.reserve(races.size());
+  for (const RacePair& p : races) {
+    keys.push_back(RaceKey(p));
+  }
+  return keys;
+}
+
+// Every field of the result that the serial/parallel contract covers,
+// flattened to one comparable string (timing and budget are excluded:
+// wall-clock varies and parallel budgets may include speculative overshoot).
+std::string ResultKey(const LifsResult& r) {
+  std::ostringstream out;
+  out << "reproduced=" << r.reproduced << " k=" << r.interleaving_count
+      << " executed=" << r.schedules_executed << " pruned=" << r.schedules_pruned
+      << " aborted=" << r.aborted_runs << "\n";
+  out << "schedule=" << r.failing_schedule.ToString() << "\n";
+  for (const std::string& k : RaceKeys(r.races.races)) {
+    out << "race " << k << "\n";
+  }
+  for (const std::string& k : RaceKeys(r.races.cs_pairs)) {
+    out << "cs " << k << "\n";
+  }
+  for (const std::string& k : RaceKeys(r.phantom_races)) {
+    out << "phantom " << k << "\n";
+  }
+  for (const auto& [tid, stream] : r.reference_streams) {
+    out << "ref t" << tid << ":";
+    for (const ExecEvent& e : stream) {
+      out << " (" << EventKey(e) << ")";
+    }
+    out << "\n";
+  }
+  for (const ExecEvent& e : r.failing_run.trace) {
+    out << "trace " << EventKey(e) << "\n";
+  }
+  for (const ExploredSchedule& es : r.explored) {
+    out << "explored " << es.schedule.ToString() << " k=" << es.interleavings
+        << " failed=" << es.failed << " matched=" << es.matched
+        << " equiv=" << es.equivalent_to_earlier << "\n";
+  }
+  return out.str();
+}
+
+LifsResult RunWithWorkers(const BugScenario& s, size_t workers) {
+  LifsOptions options;
+  options.target_type = s.truth.failure_type;
+  options.keep_explored = true;
+  options.workers = workers;
+  Lifs lifs(s.image.get(), s.slice, s.setup, options);
+  return lifs.Run();
+}
+
+TEST(LifsParallelTest, EveryScenarioBitIdenticalAcrossWorkerCounts) {
+  for (const ScenarioEntry& entry : AllScenarios()) {
+    SCOPED_TRACE(entry.id);
+    BugScenario s = entry.make();
+    LifsResult serial = RunWithWorkers(s, 1);
+    EXPECT_EQ(serial.speculative_runs, 0) << "serial search must never speculate";
+    const std::string want = ResultKey(serial);
+    for (size_t workers : {2u, 4u, 8u}) {
+      SCOPED_TRACE(StrFormat("workers=%zu", workers));
+      LifsResult parallel = RunWithWorkers(s, workers);
+      EXPECT_EQ(ResultKey(parallel), want);
+    }
+  }
+}
+
+// Regression (explored-order bug): under parallel execution the per-batch
+// results used to land in completion order; LifsResult::explored must keep
+// the canonical serial order, with the matching schedule last.
+TEST(LifsParallelTest, ExploredListKeepsCanonicalOrderUnderParallelism) {
+  BugScenario s = MakeScenario("CVE-2017-15649");
+  LifsResult serial = RunWithWorkers(s, 1);
+  ASSERT_TRUE(serial.reproduced);
+  ASSERT_FALSE(serial.explored.empty());
+  EXPECT_TRUE(serial.explored.back().matched);
+  for (size_t workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE(StrFormat("workers=%zu", workers));
+    LifsResult parallel = RunWithWorkers(s, workers);
+    ASSERT_EQ(parallel.explored.size(), serial.explored.size());
+    for (size_t i = 0; i < serial.explored.size(); ++i) {
+      EXPECT_EQ(parallel.explored[i].schedule.ToString(), serial.explored[i].schedule.ToString())
+          << "position " << i;
+      EXPECT_EQ(parallel.explored[i].matched, serial.explored[i].matched) << "position " << i;
+    }
+    EXPECT_TRUE(parallel.explored.back().matched);
+  }
+}
+
+TEST(LifsParallelTest, SpeculativeRunsExcludedFromExecutedCount) {
+  BugScenario s = MakeScenario("CVE-2017-15649");
+  LifsResult serial = RunWithWorkers(s, 1);
+  for (size_t workers : {4u, 8u}) {
+    LifsResult parallel = RunWithWorkers(s, workers);
+    EXPECT_EQ(parallel.schedules_executed, serial.schedules_executed);
+    EXPECT_GE(parallel.speculative_runs, 0);
+    // The budget counts physical runs: canonical + speculative.
+    EXPECT_EQ(parallel.budget.runs, parallel.schedules_executed + parallel.speculative_runs);
+  }
+}
+
+// Worker count 0 resolves to the hardware concurrency and must behave like
+// any other parallel (or serial, on a 1-CPU host) configuration.
+TEST(LifsParallelTest, AutoWorkerCountMatchesSerial) {
+  BugScenario s = MakeScenario("fig-1");
+  LifsResult serial = RunWithWorkers(s, 1);
+  LifsResult automatic = RunWithWorkers(s, 0);
+  EXPECT_EQ(ResultKey(automatic), ResultKey(serial));
+}
+
+// End-to-end: the full pipeline (LIFS + Causality) under --jobs renders the
+// same diagnosis as the serial pipeline for the multi-interleaving bugs.
+TEST(LifsParallelTest, FullPipelineChainIdenticalUnderJobs) {
+  for (const char* id : {"CVE-2017-15649", "syz-02", "syz-08"}) {
+    SCOPED_TRACE(id);
+    BugScenario s = MakeScenario(id);
+    AitiaReport serial = DiagnoseScenario(s);
+    ASSERT_TRUE(serial.diagnosed);
+    for (size_t jobs : {2u, 4u}) {
+      SCOPED_TRACE(StrFormat("jobs=%zu", jobs));
+      BugScenario again = MakeScenario(id);
+      AitiaOptions options;
+      options.set_jobs(jobs);
+      AitiaReport parallel = DiagnoseScenario(again, options);
+      ASSERT_TRUE(parallel.diagnosed);
+      EXPECT_EQ(parallel.causality.chain.Render(*again.image),
+                serial.causality.chain.Render(*s.image));
+      EXPECT_EQ(parallel.lifs.failing_schedule.ToString(), serial.lifs.failing_schedule.ToString());
+      EXPECT_EQ(parallel.lifs.schedules_executed, serial.lifs.schedules_executed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aitia
