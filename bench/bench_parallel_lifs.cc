@@ -58,10 +58,18 @@ std::string ResultKey(const LifsResult& r) {
 struct Cell {
   size_t workers = 0;
   double seconds = 0;
+  // Per-phase split of the best rep's wall time (LifsResult's breakdown of
+  // the discovery passes vs the depth-k frontier passes).
+  double discovery_seconds = 0;
+  double depth_seconds = 0;
   int64_t schedules = 0;
   int64_t speculative = 0;
   bool identical = false;
 };
+
+#ifndef AITIA_GIT_REVISION
+#define AITIA_GIT_REVISION "unknown"
+#endif
 
 }  // namespace
 
@@ -107,8 +115,11 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("=== Parallel LIFS sweep (hardware_concurrency=%u) ===\n\n", hw);
 
-  std::string json = StrFormat("{\n  \"hardware_concurrency\": %u,\n  \"repeat\": %d,\n"
-                               "  \"scenarios\": [\n", hw, repeat);
+  std::string json = StrFormat("{\n  \"git_revision\": \"%s\",\n"
+                               "  \"hardware_concurrency\": %u,\n  \"repeat\": %d,\n"
+                               "  \"scenario_count\": %zu,\n"
+                               "  \"scenarios\": [\n",
+                               AITIA_GIT_REVISION, hw, repeat, scenario_ids.size());
   bool all_identical = true;
   for (size_t si = 0; si < scenario_ids.size(); ++si) {
     const std::string& id = scenario_ids[si];
@@ -136,6 +147,8 @@ int main(int argc, char** argv) {
         const double elapsed = watch.ElapsedSeconds();
         if (cell.seconds < 0 || elapsed < cell.seconds) {
           cell.seconds = elapsed;
+          cell.discovery_seconds = r.discovery_seconds;
+          cell.depth_seconds = r.depth_seconds;
         }
         cell.schedules = r.schedules_executed;
         cell.speculative = r.speculative_runs;
@@ -164,9 +177,11 @@ int main(int argc, char** argv) {
     for (size_t ci = 0; ci < cells.size(); ++ci) {
       const Cell& c = cells[ci];
       json += StrFormat("%s{\"workers\": %zu, \"seconds\": %.6f, \"speedup\": %.3f, "
+                        "\"phases\": {\"discovery_seconds\": %.6f, \"depth_seconds\": %.6f}, "
                         "\"speculative_runs\": %lld, \"identical_to_serial\": %s}",
                         ci == 0 ? "" : ", ", c.workers, c.seconds,
                         c.seconds > 0 ? serial_seconds / c.seconds : 0.0,
+                        c.discovery_seconds, c.depth_seconds,
                         static_cast<long long>(c.speculative), c.identical ? "true" : "false");
     }
     json += StrFormat("]}%s\n", si + 1 == scenario_ids.size() ? "" : ",");

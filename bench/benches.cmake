@@ -15,3 +15,16 @@ aitia_bench(bench_comparison)
 aitia_bench(bench_ablation)
 aitia_bench(bench_micro)
 aitia_bench(bench_parallel_lifs)
+
+# Provenance for the sweep artifact: BENCH_parallel_lifs.json records the git
+# revision it was built from, so archived sweeps stay comparable.
+execute_process(
+    COMMAND git -C ${CMAKE_SOURCE_DIR} rev-parse --short HEAD
+    OUTPUT_VARIABLE AITIA_GIT_REVISION
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    ERROR_QUIET)
+if(NOT AITIA_GIT_REVISION)
+  set(AITIA_GIT_REVISION "unknown")
+endif()
+target_compile_definitions(bench_parallel_lifs PRIVATE
+    AITIA_GIT_REVISION="${AITIA_GIT_REVISION}")

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
@@ -89,10 +91,9 @@ void FinalizeReport(AitiaReport& report) {
   }
 }
 
-}  // namespace
-
-AitiaReport DiagnoseSlice(const KernelImage& image, const std::vector<ThreadSpec>& slice,
-                          const std::vector<ThreadSpec>& setup, const AitiaOptions& options) {
+AitiaReport DiagnoseSliceImpl(const KernelImage& image, const std::vector<ThreadSpec>& slice,
+                              const std::vector<ThreadSpec>& setup,
+                              const AitiaOptions& options) {
   AitiaReport report;
   report.slices_tried = 1;
   report.used_slice.threads = slice;
@@ -111,8 +112,8 @@ AitiaReport DiagnoseSlice(const KernelImage& image, const std::vector<ThreadSpec
   return report;
 }
 
-AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& history,
-                            const AitiaOptions& options) {
+AitiaReport DiagnoseHistoryImpl(const KernelImage& image, const ExecutionHistory& history,
+                                const AitiaOptions& options) {
   AitiaReport report;
   std::vector<Slice> slices = BuildSlices(history, options.slicer);
   if (slices.size() > options.max_slices) {
@@ -171,6 +172,42 @@ AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& hi
     FinalizeReport(report);
     return report;
   }
+  return report;
+}
+
+}  // namespace
+
+AitiaReport DiagnoseSlice(const KernelImage& image, const std::vector<ThreadSpec>& slice,
+                          const std::vector<ThreadSpec>& setup, const AitiaOptions& options) {
+  // Per-diagnosis metrics as a delta of the process-wide registry: cheap,
+  // and correct even when many diagnoses share one process. Observability
+  // stays read-side — nothing below consults the registry or the tracer to
+  // make a decision.
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  AitiaReport report;
+  {
+    obs::Span span("pipeline", "aitia.diagnose_slice");
+    report = DiagnoseSliceImpl(image, slice, setup, options);
+    span.Arg("diagnosed", report.diagnosed)
+        .Arg("degraded", report.degraded)
+        .Arg("slices_tried", static_cast<int64_t>(report.slices_tried));
+  }
+  report.metrics = obs::MetricsRegistry::Global().Snapshot().Delta(before);
+  return report;
+}
+
+AitiaReport DiagnoseHistory(const KernelImage& image, const ExecutionHistory& history,
+                            const AitiaOptions& options) {
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  AitiaReport report;
+  {
+    obs::Span span("pipeline", "aitia.diagnose_history");
+    report = DiagnoseHistoryImpl(image, history, options);
+    span.Arg("diagnosed", report.diagnosed)
+        .Arg("degraded", report.degraded)
+        .Arg("slices_tried", static_cast<int64_t>(report.slices_tried));
+  }
+  report.metrics = obs::MetricsRegistry::Global().Snapshot().Delta(before);
   return report;
 }
 

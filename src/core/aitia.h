@@ -19,6 +19,7 @@
 
 #include "src/core/causality.h"
 #include "src/core/lifs.h"
+#include "src/obs/metrics.h"
 #include "src/trace/history.h"
 #include "src/trace/slicer.h"
 
@@ -55,6 +56,10 @@ struct AitiaReport {
   Slice used_slice;
   LifsResult lifs;
   CausalityResult causality;
+  // Metrics delta covering exactly this diagnosis: the facade snapshots the
+  // process-wide registry before the pipeline and subtracts it after, so
+  // reports stay accurate when many diagnoses share one process.
+  obs::MetricsSnapshot metrics;
 
   // Full human-readable diagnosis (races, verdicts, chain).
   std::string Render(const KernelImage& image) const;

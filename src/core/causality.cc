@@ -4,11 +4,42 @@
 #include <map>
 #include <set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace aitia {
+namespace {
+
+struct CausalityMetrics {
+  obs::Counter* analyses;
+  obs::Counter* flip_tests;
+  obs::Counter* root_cause;
+  obs::Counter* benign;
+  obs::Counter* inconclusive;
+  obs::Counter* ambiguous;
+  obs::Counter* us;
+
+  static const CausalityMetrics& Get() {
+    static const CausalityMetrics* const m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* cm = new CausalityMetrics();
+      cm->analyses = reg.GetCounter("causality.analyses");
+      cm->flip_tests = reg.GetCounter("causality.flip_tests");
+      cm->root_cause = reg.GetCounter("causality.verdicts.root_cause");
+      cm->benign = reg.GetCounter("causality.verdicts.benign");
+      cm->inconclusive = reg.GetCounter("causality.verdicts.inconclusive");
+      cm->ambiguous = reg.GetCounter("causality.verdicts.ambiguous");
+      cm->us = reg.GetCounter("causality.us");
+      return cm;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 const char* RaceVerdictName(RaceVerdict verdict) {
   switch (verdict) {
@@ -172,6 +203,7 @@ bool CausalityAnalysis::BothSidesExecuted(const RacePair& race, const RunResult&
 }
 
 CausalityResult CausalityAnalysis::Run() {
+  obs::Span analysis_span("causality", "causality.analysis");
   Stopwatch watch;
   CausalityResult result;
 
@@ -267,6 +299,11 @@ CausalityResult CausalityAnalysis::Run() {
   std::vector<RunResult> flip_runs(items.size());
   std::vector<Status> flip_status(items.size());
   auto test_one = [&](size_t i) {
+    obs::Span span("causality", "ca.flip");
+    span.Arg("index", i)
+        .Arg("label", RaceLabel(*image_, items[i].race))
+        .Arg("phantom", items[i].phantom)
+        .Arg("critical_section", items[i].race.cs_pair);
     TotalOrderSchedule flip = BuildFlip(items[i]);
     StatusOr<EnforceResult> er =
         supervisor.RunTotalOrder(slice_, flip, setup_, static_cast<uint64_t>(i));
@@ -276,6 +313,7 @@ CausalityResult CausalityAnalysis::Run() {
     } else {
       flip_status[i] = er.status();
     }
+    span.Arg("ok", flip_status[i].ok());
   };
   if (options_.workers > 1 && items.size() > 1) {
     ThreadPool pool(options_.workers);
@@ -351,6 +389,32 @@ CausalityResult CausalityAnalysis::Run() {
     }
   }
 
+  // Final verdicts are now settled (ambiguity upgrades included) — emit one
+  // instant per race so the trace shows the per-decision outcome alongside
+  // the flip spans, plus the per-verdict counters.
+  {
+    const CausalityMetrics& m = CausalityMetrics::Get();
+    int64_t root_cause_count = 0;
+    int64_t ambiguous_count = 0;
+    for (size_t i = 0; i < result.tested.size(); ++i) {
+      const TestedRace& t = result.tested[i];
+      obs::Span("causality", "ca.verdict", 'i')
+          .Arg("index", i)
+          .Arg("label", RaceLabel(*image_, t.race))
+          .Arg("verdict", RaceVerdictName(t.verdict))
+          .Arg("phantom", t.phantom)
+          .Arg("critical_section", t.race.cs_pair);
+      root_cause_count += t.verdict == RaceVerdict::kRootCause ? 1 : 0;
+      ambiguous_count += t.verdict == RaceVerdict::kAmbiguous ? 1 : 0;
+    }
+    m.analyses->Increment();
+    m.flip_tests->Add(result.schedules_executed);
+    m.root_cause->Add(root_cause_count);
+    m.benign->Add(result.benign_count);
+    m.inconclusive->Add(result.inconclusive_count);
+    m.ambiguous->Add(ambiguous_count);
+  }
+
   // Chain construction from the disappearance relation among root causes.
   std::vector<size_t> roots;
   for (size_t i = 0; i < result.tested.size(); ++i) {
@@ -381,6 +445,10 @@ CausalityResult CausalityAnalysis::Run() {
   }
   result.chain = CausalityChain::Build(root_races, disappears, ambiguous_flags, symptom);
   result.seconds = watch.ElapsedSeconds();
+  CausalityMetrics::Get().us->Add(static_cast<int64_t>(result.seconds * 1e6));
+  analysis_span.Arg("tests", result.schedules_executed)
+      .Arg("root_causes", result.root_cause_indices.size())
+      .Arg("degraded", result.degraded);
   return result;
 }
 

@@ -7,6 +7,8 @@
 #include <set>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
@@ -14,6 +16,39 @@
 
 namespace aitia {
 namespace {
+
+// Registry lookups cached once per process; the increments themselves are
+// per-thread sharded relaxed atomics (src/obs/metrics.h), so publishing
+// search totals here never contends with frontier workers.
+struct LifsMetrics {
+  obs::Counter* searches;
+  obs::Counter* reproduced;
+  obs::Counter* schedules_executed;
+  obs::Counter* schedules_pruned;
+  obs::Counter* aborted_runs;
+  obs::Counter* speculative_runs;
+  obs::Counter* discovery_us;
+  obs::Counter* depth_us;
+  obs::Histogram* preemption_points;
+
+  static const LifsMetrics& Get() {
+    static const LifsMetrics* const m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* lm = new LifsMetrics();
+      lm->searches = reg.GetCounter("lifs.searches");
+      lm->reproduced = reg.GetCounter("lifs.reproduced");
+      lm->schedules_executed = reg.GetCounter("lifs.schedules_executed");
+      lm->schedules_pruned = reg.GetCounter("lifs.schedules_pruned");
+      lm->aborted_runs = reg.GetCounter("lifs.aborted_runs");
+      lm->speculative_runs = reg.GetCounter("lifs.speculative_runs");
+      lm->discovery_us = reg.GetCounter("lifs.discovery_us");
+      lm->depth_us = reg.GetCounter("lifs.depth_us");
+      lm->preemption_points = reg.GetHistogram("lifs.preemption_points", {0, 1, 2, 3, 4, 8});
+      return lm;
+    }();
+    return *m;
+  }
+};
 
 SupervisorOptions LifsSupervisorOptions(const LifsOptions& options) {
   SupervisorOptions so = options.supervisor;
@@ -270,8 +305,11 @@ bool Lifs::Execute(const PreemptionSchedule& schedule, int interleavings) {
     return false;
   }
   if (!tried_schedules_.insert(schedule.ToString()).second) {
+    obs::Span("lifs", "lifs.prune", 'i').Arg("reason", "duplicate-schedule");
     return false;  // exact schedule already run
   }
+  obs::Span span("lifs", "lifs.run");
+  span.Arg("k", interleavings).Arg("points", schedule.points.size());
   StatusOr<EnforceResult> supervised = supervisor_.RunPreemption(
       slice_, schedule, setup_, static_cast<uint64_t>(result_.schedules_executed));
   ++result_.schedules_executed;
@@ -281,9 +319,13 @@ bool Lifs::Execute(const PreemptionSchedule& schedule, int interleavings) {
     // LIFS completeness degrades gracefully instead of crashing or learning
     // from a corrupt partial trace.
     ++result_.aborted_runs;
+    span.Arg("aborted", true);
     return false;
   }
-  return Absorb(*supervised, schedule, interleavings, TraceFingerprint(supervised->run));
+  const bool matched =
+      Absorb(*supervised, schedule, interleavings, TraceFingerprint(supervised->run));
+  span.Arg("failed", supervised->run.failure.has_value()).Arg("matched", matched);
+  return matched;
 }
 
 bool Lifs::Absorb(EnforceResult& er, const PreemptionSchedule& schedule, int interleavings,
@@ -291,11 +333,17 @@ bool Lifs::Absorb(EnforceResult& er, const PreemptionSchedule& schedule, int int
   Learn(er.run);
   const bool fresh = fingerprints_.insert(std::move(fingerprint)).second;
   const bool matched = MatchesTarget(er.run.failure);
+  LifsMetrics::Get().preemption_points->Record(
+      static_cast<int64_t>(schedule.points.size()));
   if (options_.keep_explored) {
     result_.explored.push_back(
         {schedule, interleavings, er.run.failure.has_value(), matched, !fresh});
   }
   if (matched) {
+    obs::Span("lifs", "lifs.match", 'i')
+        .Arg("k", interleavings)
+        .Arg("points", schedule.points.size())
+        .Arg("schedule", schedule.ToString());
     FinalizeFailingRun(er.run, schedule, interleavings);
     return true;
   }
@@ -340,6 +388,7 @@ bool Lifs::RunFrontier(const FrontierFn& next, int interleavings, ThreadPool* po
       }
       std::string key = schedule->ToString();
       if (!tried_schedules_.insert(key).second) {
+        obs::Span("lifs", "lifs.prune", 'i').Arg("reason", "duplicate-schedule");
         continue;  // exact schedule already run
       }
       batch.push_back(std::move(*schedule));
@@ -356,10 +405,16 @@ bool Lifs::RunFrontier(const FrontierFn& next, int interleavings, ThreadPool* po
     std::vector<BatchRun> runs(batch.size());
     const uint64_t nonce_base = static_cast<uint64_t>(result_.schedules_executed);
     ParallelFor(*pool, batch.size(), [&](size_t i) {
+      obs::Span span("lifs", "lifs.run");
+      span.Arg("k", interleavings)
+          .Arg("points", batch[i].points.size())
+          .Arg("batch_index", i);
       runs[i].supervised =
           supervisor_.RunPreemption(slice_, batch[i], setup_, nonce_base + i);
       if (runs[i].supervised.ok()) {
         runs[i].fingerprint = TraceFingerprint(runs[i].supervised->run);
+      } else {
+        span.Arg("aborted", true);
       }
     });
 
@@ -372,6 +427,8 @@ bool Lifs::RunFrontier(const FrontierFn& next, int interleavings, ThreadPool* po
       if (Absorb(*runs[i].supervised, batch[i], interleavings,
                  std::move(runs[i].fingerprint))) {
         result_.speculative_runs += static_cast<int64_t>(batch.size() - i - 1);
+        obs::Span("lifs", "lifs.speculative_discard", 'i')
+            .Arg("count", batch.size() - i - 1);
         return true;
       }
     }
@@ -446,9 +503,31 @@ void Lifs::FinalizeFailingRun(const RunResult& run, const PreemptionSchedule& sc
 }
 
 LifsResult Lifs::Run() {
+  obs::Span span("lifs", "lifs.search");
   search_watch_.Reset();
   RunSearch();
   result_.budget = supervisor_.budget();
+  span.Arg("reproduced", result_.reproduced)
+      .Arg("k", result_.interleaving_count)
+      .Arg("schedules", result_.schedules_executed)
+      .Arg("pruned", result_.schedules_pruned)
+      .Arg("speculative", result_.speculative_runs)
+      .Arg("aborted", result_.aborted_runs)
+      .Arg("workers", options_.workers);
+
+  // Publish the search totals once, from the authoritative LifsResult
+  // counters — report.metrics.lifs.* can never drift from LifsResult.
+  const LifsMetrics& m = LifsMetrics::Get();
+  m.searches->Increment();
+  if (result_.reproduced) {
+    m.reproduced->Increment();
+  }
+  m.schedules_executed->Add(result_.schedules_executed);
+  m.schedules_pruned->Add(result_.schedules_pruned);
+  m.aborted_runs->Add(result_.aborted_runs);
+  m.speculative_runs->Add(result_.speculative_runs);
+  m.discovery_us->Add(static_cast<int64_t>(result_.discovery_seconds * 1e6));
+  m.depth_us->Add(static_cast<int64_t>(result_.depth_seconds * 1e6));
   return result_;
 }
 
@@ -483,8 +562,13 @@ LifsResult Lifs::RunSearch() {
     pool = &*pool_storage;
   }
 
+  bool discovery_done = false;
   auto finish = [&]() -> LifsResult& {
     result_.seconds = watch.ElapsedSeconds();
+    if (!discovery_done) {
+      result_.discovery_seconds = result_.seconds;
+    }
+    result_.depth_seconds = result_.seconds - result_.discovery_seconds;
     return result_;
   };
 
@@ -539,6 +623,9 @@ LifsResult Lifs::RunSearch() {
     }
   }
 
+  result_.discovery_seconds = watch.ElapsedSeconds();
+  discovery_done = true;
+
   for (int k = 1; k <= options_.max_interleavings; ++k) {
     // Knowledge can grow while exploring depth k (race-steered control
     // flows); regenerate candidates until a full pass adds nothing new.
@@ -555,8 +642,13 @@ LifsResult Lifs::RunSearch() {
       if (options_.dpor_pruning && candidates.size() < total_known) {
         // Preemptions at non-conflicting instructions are equivalent to not
         // preempting at all — count them as pruned once per depth pass.
-        result_.schedules_pruned +=
+        const int64_t pruned =
             static_cast<int64_t>((total_known - candidates.size()) * perms.size());
+        result_.schedules_pruned += pruned;
+        obs::Span("lifs", "lifs.prune", 'i')
+            .Arg("reason", "dpor-nonconflicting")
+            .Arg("count", pruned)
+            .Arg("depth", k);
       }
 
       const size_t known_before = total_known;

@@ -123,6 +123,11 @@ struct LifsResult {
   // though every other field of this result is identical.
   RunBudget budget;
   double seconds = 0;
+  // Wall-clock split of `seconds`: the discovery passes (sequential orders
+  // plus one-shot IRQ probes) vs the depth-k frontier passes. The bench and
+  // the metrics registry report this breakdown per phase.
+  double discovery_seconds = 0;
+  double depth_seconds = 0;
   std::vector<ThreadId> slice_tids;
   std::vector<ExploredSchedule> explored;  // populated iff keep_explored
 };

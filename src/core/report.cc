@@ -4,27 +4,6 @@
 
 namespace aitia {
 
-std::string JsonEscape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size() + 8);
-  for (char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string ReportToJson(const AitiaReport& report, const KernelImage& image) {
   std::string json = "{";
   json += StrFormat("\"diagnosed\": %s", report.diagnosed ? "true" : "false");
@@ -49,6 +28,10 @@ std::string ReportToJson(const AitiaReport& report, const KernelImage& image) {
       report.lifs.reproduced ? "true" : "false", report.lifs.interleaving_count,
       static_cast<long long>(report.lifs.schedules_executed),
       static_cast<long long>(report.lifs.schedules_pruned), report.lifs.seconds);
+
+  // Always emitted, even for undiagnosed reports: the metrics delta is the
+  // flight-recorder readout of what the pipeline actually did.
+  json += ", \"metrics\": " + report.metrics.ToJson();
 
   if (!report.diagnosed) {
     return json + "}";

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/core/aitia.h"
+#include "src/util/strings.h"  // JsonEscape lives in util; re-exported here
 
 namespace aitia {
 
@@ -26,9 +27,6 @@ namespace aitia {
 //             "ambiguous": false}, ...], "edges": [[0, 1], ...]}
 // }
 std::string ReportToJson(const AitiaReport& report, const KernelImage& image);
-
-// JSON string escaping (exposed for tests).
-std::string JsonEscape(const std::string& raw);
 
 }  // namespace aitia
 

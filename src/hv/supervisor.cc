@@ -4,12 +4,63 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
 
 namespace aitia {
+namespace {
+
+struct SupervisorMetrics {
+  obs::Counter* runs;
+  obs::Counter* attempts;
+  obs::Counter* completed;
+  obs::Counter* retries;
+  obs::Counter* exhausted;
+  obs::Counter* deadline_expirations;
+  obs::Counter* watchdog_trips;
+  obs::Counter* injected_faults;
+  obs::Counter* steps;
+  obs::Histogram* run_steps;
+
+  static const SupervisorMetrics& Get() {
+    static const SupervisorMetrics* const m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* sm = new SupervisorMetrics();
+      sm->runs = reg.GetCounter("supervisor.runs");
+      sm->attempts = reg.GetCounter("supervisor.attempts");
+      sm->completed = reg.GetCounter("supervisor.completed");
+      sm->retries = reg.GetCounter("supervisor.retries");
+      sm->exhausted = reg.GetCounter("supervisor.exhausted");
+      sm->deadline_expirations = reg.GetCounter("supervisor.deadline_expirations");
+      sm->watchdog_trips = reg.GetCounter("supervisor.watchdog_trips");
+      sm->injected_faults = reg.GetCounter("supervisor.injected_faults");
+      sm->steps = reg.GetCounter("supervisor.steps");
+      sm->run_steps =
+          reg.GetHistogram("supervisor.run_steps", {100, 1000, 10000, 100000, 1000000});
+      return sm;
+    }();
+    return *m;
+  }
+};
+
+void PublishBudgetDelta(const RunBudget& delta) {
+  const SupervisorMetrics& m = SupervisorMetrics::Get();
+  m.runs->Add(delta.runs);
+  m.attempts->Add(delta.attempts);
+  m.completed->Add(delta.completed);
+  m.retries->Add(delta.retries);
+  m.exhausted->Add(delta.exhausted);
+  m.deadline_expirations->Add(delta.deadline_expirations);
+  m.watchdog_trips->Add(delta.watchdog_trips);
+  m.injected_faults->Add(delta.injected_faults);
+  m.steps->Add(delta.steps);
+}
+
+}  // namespace
 
 void RunBudget::Merge(const RunBudget& other) {
   runs += other.runs;
@@ -47,6 +98,7 @@ StatusOr<EnforceResult> Supervisor::Supervise(const RunFn& run, uint64_t nonce) 
   // budget mutex sits on their hot path.
   RunBudget delta;
   StatusOr<EnforceResult> out = SuperviseAccounted(run, nonce, delta);
+  PublishBudgetDelta(delta);
   std::lock_guard<std::mutex> lock(mu_);
   budget_.Merge(delta);
   return out;
@@ -79,9 +131,19 @@ StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_
     ++delta.attempts;
     delta.steps += er.steps;
     delta.injected_faults += injector.counters().total();
+    SupervisorMetrics::Get().run_steps->Record(er.steps);
+    if (const int64_t faults = injector.counters().total(); faults > 0) {
+      obs::Span("hv", "supervisor.faults", 'i').Arg("nonce", nonce).Arg("count", faults);
+    }
     switch (er.status.code()) {
-      case StatusCode::kDeadlineExceeded: ++delta.deadline_expirations; break;
-      case StatusCode::kAborted: ++delta.watchdog_trips; break;
+      case StatusCode::kDeadlineExceeded:
+        ++delta.deadline_expirations;
+        obs::Span("hv", "supervisor.deadline", 'i').Arg("nonce", nonce);
+        break;
+      case StatusCode::kAborted:
+        ++delta.watchdog_trips;
+        obs::Span("hv", "supervisor.watchdog", 'i').Arg("nonce", nonce);
+        break;
       default: break;
     }
 
@@ -101,6 +163,10 @@ StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_
       break;
     }
     ++delta.retries;
+    obs::Span("hv", "supervisor.retry", 'i')
+        .Arg("nonce", nonce)
+        .Arg("attempt", attempt + 1)
+        .Arg("status", er.status.ToString());
     if (options_.backoff_ms_cap > 0) {
       // Deterministic seeded jitter: the sleep length is a pure function of
       // (retry_seed, nonce, attempt), so a replayed diagnosis spends the
@@ -120,6 +186,9 @@ StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_
   if (last.ok()) {
     last = Status::Internal("supervision exhausted without a status");
   }
+  obs::Span("hv", "supervisor.exhausted", 'i')
+      .Arg("nonce", nonce)
+      .Arg("status", last.ToString());
   return last;
 }
 

@@ -3,24 +3,81 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/stopwatch.h"
+
 namespace aitia {
+namespace {
+
+struct IngestMetrics {
+  obs::Counter* files;
+  obs::Counter* parses;
+  obs::Counter* errors;
+  obs::Counter* parse_us;
+  obs::Counter* assemble_us;
+
+  static const IngestMetrics& Get() {
+    static const IngestMetrics* const m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* im = new IngestMetrics();
+      im->files = reg.GetCounter("ingest.files");
+      im->parses = reg.GetCounter("ingest.parses");
+      im->errors = reg.GetCounter("ingest.errors");
+      im->parse_us = reg.GetCounter("ingest.parse_us");
+      im->assemble_us = reg.GetCounter("ingest.assemble_us");
+      return im;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 StatusOr<BugScenario> ScenarioFromAitText(std::string_view text, const std::string& filename) {
-  StatusOr<TraceDoc> doc = ParseTraceText(text, filename);
+  const IngestMetrics& m = IngestMetrics::Get();
+  m.parses->Increment();
+
+  Stopwatch watch;
+  StatusOr<TraceDoc> doc = [&] {
+    obs::Span span("ingest", "ingest.parse");
+    span.Arg("file", filename).Arg("bytes", static_cast<int64_t>(text.size()));
+    StatusOr<TraceDoc> parsed = ParseTraceText(text, filename);
+    span.Arg("ok", parsed.ok());
+    return parsed;
+  }();
+  m.parse_us->Add(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
   if (!doc.ok()) {
+    m.errors->Increment();
     return doc.status();
   }
-  return AssembleScenario(*doc);
+
+  watch.Reset();
+  StatusOr<BugScenario> scenario = [&] {
+    obs::Span span("ingest", "ingest.assemble");
+    span.Arg("file", filename);
+    StatusOr<BugScenario> assembled = AssembleScenario(*doc);
+    span.Arg("ok", assembled.ok());
+    return assembled;
+  }();
+  m.assemble_us->Add(static_cast<int64_t>(watch.ElapsedSeconds() * 1e6));
+  if (!scenario.ok()) {
+    m.errors->Increment();
+  }
+  return scenario;
 }
 
 StatusOr<BugScenario> ScenarioFromAitFile(const std::string& path) {
+  IngestMetrics::Get().files->Increment();
   std::ifstream in(path, std::ios::binary);
   if (!in) {
+    IngestMetrics::Get().errors->Increment();
     return Status::NotFound("cannot read trace file: " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) {
+    IngestMetrics::Get().errors->Increment();
     return Status::Unavailable("I/O error reading trace file: " + path);
   }
   return ScenarioFromAitText(buffer.str(), path);

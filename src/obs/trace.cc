@@ -1,0 +1,172 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace obs {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(size_t capacity) {
+  enabled_.store(false, std::memory_order_relaxed);
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  const size_t per_shard = std::max<size_t>(1, capacity / kShards);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.clear();
+    shard.events.reserve(std::min<size_t>(per_shard, 4096));
+    shard.dropped = 0;
+    shard.capacity = per_shard;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+int64_t Tracer::NowUs() const {
+  return (SteadyNowNs() - epoch_ns_.load(std::memory_order_relaxed)) / 1000;
+}
+
+void Tracer::Record(TraceEvent&& event) {
+  if (!enabled()) {
+    return;
+  }
+  Shard& shard = shards_[CurrentThreadTag() % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.events.size() >= shard.capacity) {
+    ++shard.dropped;  // bounded memory: first-come-first-kept
+    return;
+  }
+  shard.events.push_back(std::move(event));
+}
+
+TraceDump Tracer::Snapshot() const {
+  TraceDump dump;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    dump.events.insert(dump.events.end(), shard.events.begin(), shard.events.end());
+    dump.dropped += shard.dropped;
+    dump.capacity += shard.capacity;
+  }
+  std::stable_sort(dump.events.begin(), dump.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) {
+                       return a.ts_us < b.ts_us;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return dump;
+}
+
+std::string ToChromeTraceJson(const TraceDump& dump) {
+  std::string json = "{\"traceEvents\": [";
+  for (size_t i = 0; i < dump.events.size(); ++i) {
+    const TraceEvent& e = dump.events[i];
+    if (i != 0) {
+      json += ",";
+    }
+    json += StrFormat("\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+                      "\"ts\": %lld, ",
+                      JsonEscape(e.name).c_str(), JsonEscape(e.cat).c_str(), e.ph,
+                      static_cast<long long>(e.ts_us));
+    if (e.ph == 'X') {
+      json += StrFormat("\"dur\": %lld, ", static_cast<long long>(e.dur_us));
+    }
+    if (e.ph == 'i') {
+      json += "\"s\": \"t\", ";  // thread-scoped instant
+    }
+    json += StrFormat("\"pid\": 1, \"tid\": %u", e.tid);
+    if (!e.args.empty()) {
+      json += ", \"args\": {";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        const TraceArg& arg = e.args[a];
+        if (a != 0) {
+          json += ", ";
+        }
+        json += "\"" + JsonEscape(arg.key) + "\": ";
+        if (arg.quoted) {
+          json += "\"" + JsonEscape(arg.value) + "\"";
+        } else {
+          json += arg.value;
+        }
+      }
+      json += "}";
+    }
+    json += "}";
+  }
+  json += StrFormat("\n], \"displayTimeUnit\": \"ms\", "
+                    "\"otherData\": {\"dropped_events\": %lld, \"capacity\": %zu}}",
+                    static_cast<long long>(dump.dropped), dump.capacity);
+  return json;
+}
+
+Span::Span(const char* cat, const char* name, char ph) : active_(Tracer::Global().enabled()) {
+  if (!active_) {
+    return;
+  }
+  event_.ph = ph;
+  event_.cat = cat;
+  event_.name = name;
+  event_.tid = CurrentThreadTag();
+  start_us_ = Tracer::Global().NowUs();
+}
+
+Span::~Span() {
+  if (!active_) {
+    return;
+  }
+  Tracer& tracer = Tracer::Global();
+  event_.ts_us = start_us_;
+  if (event_.ph == 'X') {
+    event_.dur_us = tracer.NowUs() - start_us_;
+  }
+  tracer.Record(std::move(event_));
+}
+
+Span& Span::Arg(const char* key, const char* value) {
+  if (active_) {
+    event_.args.push_back({key, value, /*quoted=*/true});
+  }
+  return *this;
+}
+
+Span& Span::Arg(const char* key, const std::string& value) {
+  if (active_) {
+    event_.args.push_back({key, value, /*quoted=*/true});
+  }
+  return *this;
+}
+
+Span& Span::Arg(const char* key, bool value) {
+  if (active_) {
+    event_.args.push_back({key, value ? "true" : "false", /*quoted=*/false});
+  }
+  return *this;
+}
+
+Span& Span::IntArg(const char* key, int64_t value) {
+  if (active_) {
+    event_.args.push_back(
+        {key, StrFormat("%lld", static_cast<long long>(value)), /*quoted=*/false});
+  }
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace aitia

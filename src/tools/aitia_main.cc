@@ -7,18 +7,22 @@
 //   $ aitia examples/traces/cve_2017_15649.ait
 //   $ aitia --json examples/traces/fig_4b.ait
 //   $ aitia CVE-2017-15649              # corpus id instead of a file
+//   $ aitia --trace out.json fig-1      # Chrome trace-event flight record
+//   $ aitia --metrics fig-1             # metrics summary on stderr
 //   $ aitia --emit syz-04               # serialize a corpus scenario to .ait
 //   $ aitia --list                      # list corpus ids
 //
 // Exit codes (scriptable, CI-friendly):
 //   0  diagnosis complete (causality chain produced, supervision healthy)
 //   1  failure did not reproduce / no diagnosis
-//   2  input error: unreadable file, parse or assembly error, bad usage
+//   2  input error: unreadable file, parse or assembly error, bad usage,
+//      unwritable --trace path
 //   3  diagnosis completed degraded (some flip tests exhausted their budget)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/bugs/diagnose.h"
@@ -26,6 +30,9 @@
 #include "src/core/aitia.h"
 #include "src/core/report.h"
 #include "src/ingest/ingest.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/log.h"
 
 namespace {
 
@@ -36,13 +43,19 @@ constexpr int kExitDegraded = 3;
 
 int Usage(FILE* to) {
   std::fprintf(to,
-               "usage: aitia [--json] [--jobs N] <trace.ait | scenario-id>\n"
+               "usage: aitia [--json] [--jobs N] [--trace FILE] [--metrics]\n"
+               "             [--log-level LEVEL] <trace.ait | scenario-id>\n"
                "       aitia --emit <scenario-id>   # print a corpus scenario as .ait\n"
                "       aitia --list                 # list corpus scenario ids\n"
                "\n"
-               "  --jobs N   worker threads for the search and flip-test stages\n"
-               "             (0 = hardware concurrency; results are identical\n"
-               "             for any worker count)\n"
+               "  --jobs N          worker threads for the search and flip-test stages\n"
+               "                    (0 = hardware concurrency; results are identical\n"
+               "                    for any worker count)\n"
+               "  --trace FILE      write a Chrome trace-event JSON flight record of\n"
+               "                    the run (open in about:tracing or Perfetto)\n"
+               "  --metrics         print the diagnosis metrics summary to stderr\n"
+               "  --log-level L     debug|info|warn|error|off (default: the\n"
+               "                    AITIA_LOG_LEVEL env var, else info)\n"
                "\n"
                "exit codes: 0 diagnosed, 1 not diagnosed, 2 input error, 3 degraded\n");
   return to == stdout ? kExitDiagnosed : kExitInputError;
@@ -53,10 +66,14 @@ int Usage(FILE* to) {
 int main(int argc, char** argv) {
   using namespace aitia;
 
+  InitLogLevelFromEnv();
+
   bool json = false;
   bool emit = false;
+  bool metrics = false;
   bool jobs_set = false;
   size_t jobs = 1;
+  std::string trace_path;
   std::string input;
   auto parse_jobs = [&](const std::string& text) -> bool {
     if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
@@ -68,12 +85,45 @@ int main(int argc, char** argv) {
     jobs_set = true;
     return true;
   };
+  auto parse_log_level = [](const std::string& text) -> bool {
+    std::optional<LogLevel> level = ParseLogLevel(text);
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "aitia: --log-level expects debug|info|warn|error|off, got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    SetLogLevel(*level);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--emit") {
       emit = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aitia: --trace needs a file path\n");
+        return Usage(stderr);
+      }
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--log-level") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aitia: --log-level needs a value\n");
+        return Usage(stderr);
+      }
+      if (!parse_log_level(argv[++i])) {
+        return kExitInputError;
+      }
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      if (!parse_log_level(arg.substr(12))) {
+        return kExitInputError;
+      }
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "aitia: --jobs needs a value\n");
@@ -104,7 +154,11 @@ int main(int argc, char** argv) {
       return Usage(stderr);
     }
   }
+  if (input.empty() && trace_path.empty()) {
+    return Usage(stderr);
+  }
   if (input.empty()) {
+    std::fprintf(stderr, "aitia: --trace needs a scenario to run\n");
     return Usage(stderr);
   }
 
@@ -118,6 +172,38 @@ int main(int argc, char** argv) {
     return kExitDiagnosed;
   }
 
+  // Probe the trace destination *before* spending minutes in the pipeline:
+  // an unwritable path is an input error (exit 2) reported as a Status, not
+  // an abort after the work is done.
+  std::ofstream trace_out;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path, std::ios::binary | std::ios::trunc);
+    if (!trace_out) {
+      const Status st = Status::Unavailable("cannot open trace output file: " + trace_path);
+      std::fprintf(stderr, "aitia: %s\n", st.ToString().c_str());
+      return kExitInputError;
+    }
+    // Tracing starts before the scenario load so ingest spans are captured.
+    obs::Tracer::Global().Start();
+  }
+  auto write_trace = [&]() -> Status {
+    if (trace_path.empty()) {
+      return OkStatus();
+    }
+    const obs::TraceDump dump = obs::Tracer::Global().Snapshot();
+    obs::Tracer::Global().Stop();
+    trace_out << obs::ToChromeTraceJson(dump);
+    trace_out.flush();
+    if (!trace_out) {
+      return Status::Unavailable("failed writing trace output file: " + trace_path);
+    }
+    if (dump.dropped > 0) {
+      std::fprintf(stderr, "aitia: trace ring full, dropped %lld event(s)\n",
+                   static_cast<long long>(dump.dropped));
+    }
+    return OkStatus();
+  };
+
   // A corpus id is accepted wherever a trace file is: ids never name
   // readable files, so the file path wins when both could apply.
   BugScenario scenario;
@@ -130,6 +216,7 @@ int main(int argc, char** argv) {
     scenario = entry->make();
   } else {
     std::fprintf(stderr, "aitia: %s\n", loaded.status().ToString().c_str());
+    (void)write_trace();
     return kExitInputError;
   }
 
@@ -142,6 +229,15 @@ int main(int argc, char** argv) {
     options.set_jobs(jobs);
   }
   AitiaReport report = DiagnoseScenario(scenario, options);
+
+  if (const Status st = write_trace(); !st.ok()) {
+    std::fprintf(stderr, "aitia: %s\n", st.ToString().c_str());
+    return kExitInputError;
+  }
+  if (metrics) {
+    std::fprintf(stderr, "--- metrics ---\n%s", report.metrics.ToText().c_str());
+  }
+
   std::printf("%s\n", json ? ReportToJson(report, *scenario.image).c_str()
                            : report.Render(*scenario.image).c_str());
   if (!report.diagnosed) {

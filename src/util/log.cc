@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <utility>
 
 namespace aitia {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_io_mu;
+std::mutex g_sink_mu;
+LogSink g_sink;  // guarded by g_sink_mu; empty = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,12 +35,56 @@ void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxe
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+bool InitLogLevelFromEnv() {
+  const char* env = std::getenv("AITIA_LOG_LEVEL");
+  if (env == nullptr) {
+    return false;
+  }
+  std::optional<LogLevel> level = ParseLogLevel(env);
+  if (!level.has_value()) {
+    return false;
+  }
+  SetLogLevel(*level);
+  return true;
+}
+
+uint32_t CurrentThreadTag() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 void LogMessage(LogLevel level, const std::string& msg) {
   if (level < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_io_mu);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  const uint32_t tag = CurrentThreadTag();
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    std::string line = "[";
+    line += LevelName(level);
+    line += "][T";
+    line += std::to_string(tag);
+    line += "] ";
+    line += msg;
+    g_sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "[%s][T%u] %s\n", LevelName(level), tag, msg.c_str());
 }
 
 }  // namespace aitia

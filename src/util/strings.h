@@ -18,6 +18,10 @@ std::string StrJoin(const std::vector<std::string>& parts, const std::string& se
 // Pads or truncates `s` to exactly `width` columns (left-aligned).
 std::string PadRight(const std::string& s, size_t width);
 
+// JSON string escaping per RFC 8259 (quotes, backslashes, control
+// characters). Shared by the report serializer and the trace exporter.
+std::string JsonEscape(const std::string& raw);
+
 }  // namespace aitia
 
 #endif  // SRC_UTIL_STRINGS_H_

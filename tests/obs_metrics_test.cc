@@ -1,0 +1,179 @@
+// Tests for the metrics registry (src/obs/metrics): shard merging under a
+// thread pool, histogram bucket edges, snapshot-while-writing safety, deltas,
+// and JSON/text serialization.
+//
+// The registry under test is the process-wide Global() instance — the same
+// one the pipeline reports into — so every test uses names under a unique
+// "test." prefix and asserts via Delta() rather than absolute values.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/thread_pool.h"
+#include "tests/json_checker.h"
+
+namespace aitia {
+namespace obs {
+namespace {
+
+TEST(MetricsCounterTest, AddAndValue) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.basic");
+  const int64_t base = c->Value();
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), base + 42);
+}
+
+TEST(MetricsCounterTest, SameNameSameInstrument) {
+  auto& reg = MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetCounter("test.counter.alias"), reg.GetCounter("test.counter.alias"));
+  EXPECT_NE(reg.GetCounter("test.counter.alias"), reg.GetCounter("test.counter.other"));
+}
+
+TEST(MetricsCounterTest, ShardMergeUnderThreadPool) {
+  // N threads x M increments must merge to exactly N*M: no lost updates
+  // across shards, no double counting in the snapshot merge.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.sharded");
+  const int64_t base = c->Value();
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([c] {
+        for (int i = 0; i < kPerThread; ++i) {
+          c->Increment();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(c->Value(), base + int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().counter("test.counter.sharded"),
+            base + int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsGaugeTest, SetAndAdd) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge.basic");
+  g->Set(7);
+  EXPECT_EQ(g->Value(), 7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+}
+
+TEST(MetricsHistogramTest, BucketEdgesAreUpperBoundsInclusive) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("test.histo.edges", {10, 20});
+  const MetricsSnapshot before = reg.Snapshot();
+  h->Record(-5);  // below everything -> first bucket
+  h->Record(0);
+  h->Record(10);  // on the edge -> still the first bucket (v <= 10)
+  h->Record(11);
+  h->Record(20);
+  h->Record(21);  // past the last bound -> overflow
+  const MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  const HistogramSnapshot& hs = delta.histograms.at("test.histo.edges");
+  ASSERT_EQ(hs.bounds, (std::vector<int64_t>{10, 20}));
+  ASSERT_EQ(hs.buckets.size(), 3u);
+  EXPECT_EQ(hs.buckets[0], 3);  // -5, 0, 10
+  EXPECT_EQ(hs.buckets[1], 2);  // 11, 20
+  EXPECT_EQ(hs.buckets[2], 1);  // 21
+  EXPECT_EQ(hs.count, 6);
+  EXPECT_EQ(hs.sum, -5 + 0 + 10 + 11 + 20 + 21);
+}
+
+TEST(MetricsHistogramTest, FirstRegistrationBoundsWin) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("test.histo.bounds", {1, 2, 3});
+  Histogram* again = reg.GetHistogram("test.histo.bounds", {100});
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(again->bounds(), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(MetricsSnapshotTest, SnapshotWhileWritingIsSafeAndMonotone) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter.live");
+  const int64_t base = c->Value();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([c, &done] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+      }
+      done.store(true);
+    });
+  }
+  // Snapshot continuously while writers run: every observed value must be
+  // within range and non-decreasing (counters never go backward).
+  int64_t last = base;
+  while (!done.load()) {
+    const int64_t now = MetricsRegistry::Global().Snapshot().counter("test.counter.live");
+    EXPECT_GE(now, last);
+    EXPECT_LE(now, base + int64_t{kThreads} * kPerThread);
+    last = now;
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  EXPECT_EQ(c->Value(), base + int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsSnapshotTest, DeltaSubtractsCountersKeepsGauges) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.delta.counter");
+  Gauge* g = reg.GetGauge("test.delta.gauge");
+  c->Add(5);
+  g->Set(100);
+  const MetricsSnapshot before = reg.Snapshot();
+  c->Add(3);
+  g->Set(42);
+  const MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  EXPECT_EQ(delta.counter("test.delta.counter"), 3);
+  EXPECT_EQ(delta.gauges.at("test.delta.gauge"), 42);  // level, not rate
+  EXPECT_FALSE(delta.empty());
+}
+
+TEST(MetricsSnapshotTest, CounterLookupDefaultsToZero) {
+  MetricsSnapshot empty;
+  EXPECT_EQ(empty.counter("no.such.metric"), 0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsValidAndNested) {
+  auto& reg = MetricsRegistry::Global();
+  const MetricsSnapshot before = reg.Snapshot();
+  reg.GetCounter("test.json.group.alpha")->Add(1);
+  reg.GetCounter("test.json.group.beta")->Add(2);
+  reg.GetGauge("test.json.level")->Set(-7);
+  reg.GetHistogram("test.json.histo", {5})->Record(3);
+  const MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  const std::string json = delta.ToJson();
+  std::string why;
+  EXPECT_TRUE(testing_json::IsValidJson(json, &why)) << why << "\n" << json;
+  // Dotted names fold into nested objects.
+  EXPECT_NE(json.find("\"group\": {\"alpha\": 1, \"beta\": 2}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bounds\": [5]"), std::string::npos) << json;
+}
+
+TEST(MetricsSnapshotTest, ToTextListsEveryInstrument) {
+  auto& reg = MetricsRegistry::Global();
+  const MetricsSnapshot before = reg.Snapshot();
+  reg.GetCounter("test.text.counter")->Add(9);
+  reg.GetHistogram("test.text.histo", {1})->Record(1);
+  const MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  const std::string text = delta.ToText();
+  EXPECT_NE(text.find("test.text.counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("test.text.histo"), std::string::npos) << text;
+  EXPECT_EQ(MetricsSnapshot{}.ToText(), "(no metrics recorded)\n");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace aitia

@@ -1,13 +1,17 @@
-// Unit tests for src/util (rng, thread pool, strings, log levels).
+// Unit tests for src/util (rng, thread pool, strings, stopwatch, logging).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/util/log.h"
 #include "src/util/rng.h"
+#include "src/util/stopwatch.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 
@@ -129,6 +133,110 @@ TEST(LogTest, LevelGateIsRespected) {
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
   AITIA_LOG(kDebug) << "suppressed";  // must not crash and not print
   SetLogLevel(old);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  double last = watch.ElapsedSeconds();
+  EXPECT_GE(last, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(StopwatchTest, ResetRestartsTheClock) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double before = watch.ElapsedSeconds();
+  EXPECT_GT(before, 0.0);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), before);
+}
+
+TEST(StopwatchTest, MillisMatchSeconds) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  // Two separate now() calls: millis was taken after seconds.
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_LT(millis, (seconds + 1.0) * 1e3);
+}
+
+TEST(LogTest, ParseLogLevelAcceptsEveryLevel) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+  EXPECT_FALSE(ParseLogLevel("verbose").has_value());
+  EXPECT_FALSE(ParseLogLevel("DEBUG").has_value());
+}
+
+TEST(LogTest, CurrentThreadTagIsStableAndDistinct) {
+  const uint32_t mine = CurrentThreadTag();
+  EXPECT_EQ(CurrentThreadTag(), mine);  // stable for the thread's lifetime
+  std::vector<uint32_t> tags(8, 0);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    threads.emplace_back([&tags, i] { tags[i] = CurrentThreadTag(); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  std::set<uint32_t> distinct(tags.begin(), tags.end());
+  distinct.insert(mine);
+  EXPECT_EQ(distinct.size(), tags.size() + 1);
+}
+
+TEST(LogTest, SinkReceivesPrefixedLines) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  SetLogSink([&lines](LogLevel, const std::string& line) { lines.push_back(line); });
+  AITIA_LOG(kInfo) << "hello sink";
+  AITIA_LOG(kDebug) << "below the gate";
+  SetLogSink(nullptr);
+  SetLogLevel(old);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("[INFO][T", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("hello sink"), std::string::npos);
+}
+
+TEST(LogTest, ConcurrentLoggingKeepsLinesWhole) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::mutex mu;
+  std::vector<std::string> lines;
+  SetLogSink([&](LogLevel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          AITIA_LOG(kInfo) << "worker=" << t << " line=" << i << " end";
+        }
+      });
+    }
+    pool.Wait();
+  }
+  SetLogSink(nullptr);
+  SetLogLevel(old);
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    // Every line arrived whole: prefix present, single message, no splices.
+    EXPECT_EQ(line.rfind("[INFO][T", 0), 0u) << line;
+    EXPECT_NE(line.find(" end"), std::string::npos) << line;
+    EXPECT_EQ(line.find("worker="), line.rfind("worker=")) << line;
+  }
 }
 
 }  // namespace
