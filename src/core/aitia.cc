@@ -18,6 +18,21 @@ AitiaOptions& AitiaOptions::set_jobs(size_t jobs) {
   return *this;
 }
 
+AitiaOptions& AitiaOptions::set_deadline(double seconds) {
+  if (seconds > 0) {
+    lifs.search_deadline_seconds = seconds;
+    lifs.supervisor.deadline_seconds = seconds;
+    causality.supervisor.deadline_seconds = seconds;
+  }
+  return *this;
+}
+
+AitiaOptions& AitiaOptions::set_cancel(std::function<bool()> cancel) {
+  lifs.supervisor.cancel = cancel;
+  causality.supervisor.cancel = std::move(cancel);
+  return *this;
+}
+
 std::string AitiaReport::Render(const KernelImage& image) const {
   std::string out;
   if (!diagnosed) {

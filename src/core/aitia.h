@@ -14,6 +14,7 @@
 #ifndef SRC_CORE_AITIA_H_
 #define SRC_CORE_AITIA_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,17 @@ struct AitiaOptions {
   // 0 resolves to the hardware concurrency (the CLI's --jobs flag lands
   // here). Per-stage fields can still be set individually afterwards.
   AitiaOptions& set_jobs(size_t jobs);
+
+  // Applies one wall-clock budget (seconds) across the pipeline: the LIFS
+  // search deadline plus the per-run supervisor deadlines of both stages.
+  // Expiry degrades the diagnosis (kInconclusive flips, non-ok report
+  // status) instead of wedging the caller; 0 is a no-op.
+  AitiaOptions& set_deadline(double seconds);
+
+  // Installs one cooperative cancellation probe on both supervised stages
+  // (see SupervisorOptions::cancel). The service layer points this at its
+  // drain flag so in-flight diagnoses deadline-out instead of blocking exit.
+  AitiaOptions& set_cancel(std::function<bool()> cancel);
 };
 
 struct AitiaReport {

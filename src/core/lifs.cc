@@ -215,6 +215,13 @@ bool Lifs::SearchCutShort() {
     result_.status = Status::DeadlineExceeded("LIFS search exceeded wall-clock deadline");
     return true;
   }
+  // The supervisor-level cancel probe also cuts the search itself short, so
+  // a draining service unwinds in one frontier batch instead of enumerating
+  // the rest of the schedule budget as no-op cancelled runs.
+  if (options_.supervisor.cancel && options_.supervisor.cancel()) {
+    result_.status = Status::Cancelled("LIFS search cancelled");
+    return true;
+  }
   return false;
 }
 

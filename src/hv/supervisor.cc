@@ -110,6 +110,10 @@ StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_
   const int max_attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
   Status last;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (options_.cancel && options_.cancel()) {
+      ++delta.exhausted;
+      return Status::Cancelled("run cancelled before attempt");
+    }
     FaultInjector injector(options_.faults, FaultNonce(nonce, attempt));
 
     EnforceOptions eo;
@@ -117,10 +121,14 @@ StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_
     eo.stall_limit = options_.stall_limit;
     eo.faults = options_.faults.enabled() ? &injector : nullptr;
     Stopwatch watch;
-    if (options_.deadline_seconds > 0) {
+    if (options_.deadline_seconds > 0 || options_.cancel) {
       const double deadline = options_.deadline_seconds;
-      eo.interrupt = [&watch, deadline]() -> Status {
-        if (watch.ElapsedSeconds() > deadline) {
+      const std::function<bool()>* cancel = options_.cancel ? &options_.cancel : nullptr;
+      eo.interrupt = [&watch, deadline, cancel]() -> Status {
+        if (cancel != nullptr && (*cancel)()) {
+          return Status::Cancelled("run cancelled mid-flight");
+        }
+        if (deadline > 0 && watch.ElapsedSeconds() > deadline) {
           return Status::DeadlineExceeded("run exceeded wall-clock deadline");
         }
         return OkStatus();

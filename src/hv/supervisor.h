@@ -50,6 +50,12 @@ struct SupervisorOptions {
   uint64_t backoff_ms_cap = 0;
   // Fault-injection plan applied to every attempt; disabled when empty.
   FaultPlan faults;
+  // Cooperative cancellation probe (null = never cancelled). Checked before
+  // every attempt and between simulator steps; once it returns true, runs
+  // finish with kCancelled (not retried) so an in-flight diagnosis unwinds
+  // within one step rather than spending its remaining budget. The service
+  // layer points this at its drain flag and request deadline.
+  std::function<bool()> cancel;
 };
 
 // Per-diagnosis accounting of what supervision spent and absorbed.

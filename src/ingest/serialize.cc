@@ -191,4 +191,8 @@ std::string ScenarioToAit(const BugScenario& scenario) {
   return out;
 }
 
+uint64_t ScenarioFingerprint(const BugScenario& scenario) {
+  return Fnv1a64(ScenarioToAit(scenario));
+}
+
 }  // namespace aitia

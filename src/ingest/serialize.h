@@ -9,6 +9,7 @@
 #ifndef SRC_INGEST_SERIALIZE_H_
 #define SRC_INGEST_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/bugs/scenario.h"
@@ -16,6 +17,13 @@
 namespace aitia {
 
 std::string ScenarioToAit(const BugScenario& scenario);
+
+// Stable identity of a scenario's *content*: the FNV-1a hash of its
+// canonical .ait serialization. Two scenarios that assemble to the same
+// kernel image, slice, and setup — whether they arrived as inline .ait text,
+// a file, or a corpus id — hash identically, which is what makes the service
+// layer's result cache idempotent across request forms.
+uint64_t ScenarioFingerprint(const BugScenario& scenario);
 
 }  // namespace aitia
 

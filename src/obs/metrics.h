@@ -60,6 +60,17 @@ class Gauge {
   void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
+  // Raises the gauge to `value` if it reads below it (lock-free CAS loop).
+  // High-water marks — e.g. the service queue-depth peak that the chaos
+  // driver asserts stays within the configured bound — are gauges that only
+  // ever move up, so concurrent writers need max, not last-write-wins.
+  void SetMax(int64_t value) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !value_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 

@@ -1,0 +1,61 @@
+// Bounded LRU result cache for the diagnosis service.
+//
+// Keyed by ScenarioFingerprint (the hash of a scenario's canonical .ait
+// form), so a repeat diagnosis — whether it arrives as inline text, a file
+// upload, or a corpus id — is idempotent and served without re-running the
+// pipeline. Only *clean* terminal results are cached (diagnosed or
+// cleanly-not-reproduced with an ok pipeline status): degraded results are
+// timing- or fault-dependent, and caching them would freeze one bad run's
+// luck into every future response.
+//
+// Strictly bounded: at most `capacity` entries, eviction is
+// least-recently-used, and a capacity of 0 disables the cache entirely.
+
+#ifndef SRC_SVC_CACHE_H_
+#define SRC_SVC_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace aitia {
+namespace svc {
+
+struct CachedResult {
+  std::string status_word;  // "ok" | "not_reproduced" — the response status
+  std::string report_json;  // the rendered "report" object, id-independent
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the cached result and marks it most-recently-used.
+  std::optional<CachedResult> Get(uint64_t key);
+
+  // Inserts or refreshes; evicts the least-recently-used entry when full.
+  void Put(uint64_t key, CachedResult result);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<uint64_t, CachedResult>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace svc
+}  // namespace aitia
+
+#endif  // SRC_SVC_CACHE_H_

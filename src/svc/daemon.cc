@@ -1,0 +1,464 @@
+#include "src/svc/daemon.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/core/report.h"
+#include "src/ingest/ingest.h"
+#include "src/obs/metrics.h"
+#include "src/svc/jsonv.h"
+#include "src/util/log.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace svc {
+
+// --- metrics ----------------------------------------------------------------
+
+struct Daemon::Metrics {
+  obs::Counter* requests;
+  obs::Counter* accepted;
+  obs::Counter* completed;
+  obs::Counter* degraded;
+  obs::Counter* rejected_overloaded;
+  obs::Counter* rejected_draining;
+  obs::Counter* errors_invalid;
+  obs::Counter* errors_not_found;
+  obs::Counter* errors_internal;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* duplicate_responses;  // must stay 0: exactly-once violations
+  obs::Gauge* queue_depth;
+  obs::Gauge* queue_depth_peak;
+  obs::Gauge* in_flight;
+  obs::Gauge* draining;
+  obs::Histogram* request_ms;
+
+  static const Metrics& Get() {
+    static const Metrics* const m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* sm = new Metrics();
+      sm->requests = reg.GetCounter("svc.requests");
+      sm->accepted = reg.GetCounter("svc.accepted");
+      sm->completed = reg.GetCounter("svc.completed");
+      sm->degraded = reg.GetCounter("svc.degraded");
+      sm->rejected_overloaded = reg.GetCounter("svc.rejected_overloaded");
+      sm->rejected_draining = reg.GetCounter("svc.rejected_draining");
+      sm->errors_invalid = reg.GetCounter("svc.errors_invalid");
+      sm->errors_not_found = reg.GetCounter("svc.errors_not_found");
+      sm->errors_internal = reg.GetCounter("svc.errors_internal");
+      sm->cache_hits = reg.GetCounter("svc.cache_hits");
+      sm->cache_misses = reg.GetCounter("svc.cache_misses");
+      sm->duplicate_responses = reg.GetCounter("svc.duplicate_responses");
+      sm->queue_depth = reg.GetGauge("svc.queue_depth");
+      sm->queue_depth_peak = reg.GetGauge("svc.queue_depth_peak");
+      sm->in_flight = reg.GetGauge("svc.in_flight");
+      sm->draining = reg.GetGauge("svc.draining");
+      sm->request_ms =
+          reg.GetHistogram("svc.request_ms", {1, 5, 10, 50, 100, 500, 1000, 5000, 30000});
+      return sm;
+    }();
+    return *m;
+  }
+};
+
+// --- single-shot responder --------------------------------------------------
+
+// Wraps the transport callback so a request can answer at most once, no
+// matter how many code paths race to it. A second send is dropped and
+// counted — the chaos driver asserts that counter stays 0.
+class Daemon::OnceResponder {
+ public:
+  explicit OnceResponder(Responder fn) : fn_(std::move(fn)) {}
+
+  void Send(std::string response) {
+    if (sent_.exchange(true, std::memory_order_acq_rel)) {
+      Metrics::Get().duplicate_responses->Increment();
+      return;
+    }
+    fn_(std::move(response));
+  }
+
+ private:
+  std::atomic<bool> sent_{false};
+  Responder fn_;
+};
+
+// --- response builders ------------------------------------------------------
+
+namespace {
+
+std::string ErrorResponse(const std::string& id, const std::string& status,
+                          const std::string& error, const std::string& extra = "") {
+  return StrFormat("{\"id\":\"%s\",\"status\":\"%s\",\"error\":\"%s\"%s}",
+                   JsonEscape(id).c_str(), status.c_str(), JsonEscape(error).c_str(),
+                   extra.c_str());
+}
+
+std::string ResultResponse(const std::string& id, const std::string& scenario_id,
+                           const std::string& status, const char* cache, double elapsed_ms,
+                           const std::string& report_json) {
+  return StrFormat(
+      "{\"id\":\"%s\",\"verb\":\"diagnose\",\"scenario\":\"%s\",\"status\":\"%s\","
+      "\"cache\":\"%s\",\"elapsed_ms\":%.3f,\"report\":%s}",
+      JsonEscape(id).c_str(), JsonEscape(scenario_id).c_str(), status.c_str(), cache,
+      elapsed_ms, report_json.c_str());
+}
+
+// Maps a finished pipeline report to the protocol's terminal status word.
+// "not_reproduced" is reserved for *clean* non-reproduction: a search that
+// lost runs to faults, deadlines, or cancellation reads as "degraded" even
+// when it found nothing, so callers never mistake a cut-short search for a
+// verdict.
+const char* StatusWord(const AitiaReport& report) {
+  if (report.degraded || !report.status.ok()) {
+    return "degraded";
+  }
+  return report.diagnosed ? "ok" : "not_reproduced";
+}
+
+}  // namespace
+
+// --- request payload --------------------------------------------------------
+
+struct DiagnoseJob {
+  BugScenario scenario;
+  std::string id;
+  uint64_t fingerprint = 0;
+  size_t jobs = 1;
+  int64_t deadline_ms = 0;
+  int64_t hold_ms = 0;
+  bool cacheable = true;
+  Stopwatch admitted;  // started at admission: elapsed_ms includes queueing
+};
+
+// --- daemon -----------------------------------------------------------------
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  WorkQueue::Options qo;
+  qo.workers = options_.workers == 0 ? 1 : options_.workers;
+  qo.shards = options_.queue_shards;
+  qo.shard_capacity = options_.shard_capacity;
+  queue_ = std::make_unique<WorkQueue>(qo);
+  Metrics::Get().draining->Set(0);
+}
+
+Daemon::~Daemon() { Drain(); }
+
+void Daemon::Submit(std::string line, Responder respond) {
+  auto once = std::make_shared<OnceResponder>(std::move(respond));
+  // The request boundary: nothing a single request does — however malformed
+  // or unlucky — may take the daemon down or swallow the response.
+  try {
+    SubmitImpl(std::move(line), once);
+  } catch (const std::exception& e) {
+    Metrics::Get().errors_internal->Increment();
+    once->Send(ErrorResponse("", "internal", StrFormat("request failed: %s", e.what())));
+  } catch (...) {
+    Metrics::Get().errors_internal->Increment();
+    once->Send(ErrorResponse("", "internal", "request failed: unknown exception"));
+  }
+}
+
+std::string Daemon::HandleLine(const std::string& line) {
+  // Blocking wrapper over the async path; rejections and cache hits respond
+  // inline, diagnoses from a worker thread.
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::string response;
+    bool done = false;
+  };
+  auto sync = std::make_shared<Sync>();
+  Submit(line, [sync](std::string response) {
+    std::lock_guard<std::mutex> lock(sync->mu);
+    sync->response = std::move(response);
+    sync->done = true;
+    sync->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->done; });
+  return sync->response;
+}
+
+void Daemon::SubmitImpl(std::string line, const std::shared_ptr<OnceResponder>& respond) {
+  const Metrics& m = Metrics::Get();
+  m.requests->Increment();
+
+  if (line.size() > options_.max_request_bytes) {
+    m.errors_invalid->Increment();
+    respond->Send(ErrorResponse(
+        "", "invalid_argument",
+        StrFormat("request of %zu bytes exceeds limit %zu", line.size(),
+                  options_.max_request_bytes)));
+    return;
+  }
+  StatusOr<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    m.errors_invalid->Increment();
+    respond->Send(ErrorResponse("", "invalid_argument", parsed.status().ToString()));
+    return;
+  }
+  const JsonValue& doc = *parsed;
+  if (!doc.is_object()) {
+    m.errors_invalid->Increment();
+    respond->Send(ErrorResponse("", "invalid_argument", "request must be a JSON object"));
+    return;
+  }
+
+  std::string id;
+  if (const JsonValue* v = doc.Find("id"); v != nullptr) {
+    id = v->is_string() ? v->AsString()
+                        : StrFormat("%lld", static_cast<long long>(v->AsInt()));
+  } else {
+    id = StrFormat("auto-%llu", static_cast<unsigned long long>(
+                                    request_seq_.fetch_add(1, std::memory_order_relaxed)));
+  }
+
+  const JsonValue* verb_v = doc.Find("verb");
+  const std::string verb = verb_v != nullptr && verb_v->is_string() ? verb_v->AsString() : "";
+  if (verb == "ping") {
+    respond->Send(
+        StrFormat("{\"id\":\"%s\",\"verb\":\"ping\",\"status\":\"ok\"}", JsonEscape(id).c_str()));
+    return;
+  }
+  if (verb == "metrics") {
+    respond->Send(StrFormat("{\"id\":\"%s\",\"verb\":\"metrics\",\"status\":\"ok\",\"metrics\":%s}",
+                            JsonEscape(id).c_str(), MetricsJson().c_str()));
+    return;
+  }
+  if (verb == "shutdown") {
+    const bool first = !shutdown_requested_.exchange(true, std::memory_order_acq_rel);
+    respond->Send(StrFormat(
+        "{\"id\":\"%s\",\"verb\":\"shutdown\",\"status\":\"ok\",\"draining\":true}",
+        JsonEscape(id).c_str()));
+    if (first && options_.on_shutdown_request) {
+      options_.on_shutdown_request();
+    }
+    return;
+  }
+  if (verb == "diagnose") {
+    HandleDiagnose(doc, id, respond);
+    return;
+  }
+  m.errors_invalid->Increment();
+  respond->Send(ErrorResponse(id, "invalid_argument",
+                              verb.empty() ? "missing \"verb\""
+                                           : StrFormat("unknown verb '%s'", verb.c_str())));
+}
+
+void Daemon::HandleDiagnose(const JsonValue& doc, const std::string& id,
+                            const std::shared_ptr<OnceResponder>& respond) {
+  const Metrics& m = Metrics::Get();
+  if (draining()) {
+    m.rejected_draining->Increment();
+    respond->Send(ErrorResponse(id, "draining", "daemon is draining; not admitting requests"));
+    return;
+  }
+
+  const JsonValue* ait = doc.Find("ait");
+  const JsonValue* scen = doc.Find("scenario");
+  if ((ait != nullptr) == (scen != nullptr)) {
+    m.errors_invalid->Increment();
+    respond->Send(ErrorResponse(
+        id, "invalid_argument", "diagnose needs exactly one of \"ait\" or \"scenario\""));
+    return;
+  }
+
+  auto job = std::make_shared<DiagnoseJob>();
+  job->id = id;
+  if (ait != nullptr) {
+    if (!ait->is_string()) {
+      m.errors_invalid->Increment();
+      respond->Send(ErrorResponse(id, "invalid_argument", "\"ait\" must be a string"));
+      return;
+    }
+    // Parse + assemble on the admission thread: a malformed trace is an
+    // input error the client hears about immediately, and it never occupies
+    // a queue slot or a worker.
+    StatusOr<BugScenario> assembled = ScenarioFromAitText(ait->AsString(), "<request>");
+    if (!assembled.ok()) {
+      m.errors_invalid->Increment();
+      respond->Send(ErrorResponse(id, "invalid_argument", assembled.status().ToString()));
+      return;
+    }
+    job->scenario = *std::move(assembled);
+  } else {
+    if (!scen->is_string()) {
+      m.errors_invalid->Increment();
+      respond->Send(ErrorResponse(id, "invalid_argument", "\"scenario\" must be a string"));
+      return;
+    }
+    const ScenarioEntry* entry = FindScenario(scen->AsString());
+    if (entry == nullptr) {
+      m.errors_not_found->Increment();
+      respond->Send(ErrorResponse(
+          id, "not_found",
+          StrFormat("unknown scenario id '%s'", scen->AsString().c_str())));
+      return;
+    }
+    job->scenario = entry->make();
+  }
+
+  auto clamp = [](int64_t v, int64_t lo, int64_t hi) { return v < lo ? lo : (v > hi ? hi : v); };
+  job->jobs = static_cast<size_t>(
+      clamp(doc.Find("jobs") != nullptr ? doc.Find("jobs")->AsInt() : static_cast<int64_t>(options_.jobs),
+            1, 64));
+  job->deadline_ms = clamp(
+      doc.Find("deadline_ms") != nullptr ? doc.Find("deadline_ms")->AsInt() : options_.default_deadline_ms,
+      1, options_.max_deadline_ms);
+  job->hold_ms =
+      clamp(doc.Find("hold_ms") != nullptr ? doc.Find("hold_ms")->AsInt() : 0, 0, options_.max_hold_ms);
+  const bool no_cache = doc.Find("no_cache") != nullptr && doc.Find("no_cache")->AsBool();
+  // Chaos runs bypass the cache in both directions: a fault-shaped result
+  // must neither be served from nor stored into it.
+  job->cacheable = !no_cache && !options_.faults.enabled();
+  job->fingerprint = ScenarioFingerprint(job->scenario);
+
+  if (job->cacheable) {
+    if (std::optional<CachedResult> hit = cache_.Get(job->fingerprint)) {
+      m.cache_hits->Increment();
+      respond->Send(ResultResponse(id, job->scenario.id, hit->status_word, "hit",
+                                   job->admitted.ElapsedMillis(), hit->report_json));
+      return;
+    }
+    m.cache_misses->Increment();
+  }
+
+  const WorkQueue::Push push = queue_->TryPush(job->fingerprint, [this, job, respond] {
+    try {
+      RunDiagnose(*job, respond);
+    } catch (const std::exception& e) {
+      Metrics::Get().errors_internal->Increment();
+      respond->Send(
+          ErrorResponse(job->id, "internal", StrFormat("diagnosis failed: %s", e.what())));
+    } catch (...) {
+      Metrics::Get().errors_internal->Increment();
+      respond->Send(ErrorResponse(job->id, "internal", "diagnosis failed: unknown exception"));
+    }
+  });
+  switch (push) {
+    case WorkQueue::Push::kAccepted: {
+      m.accepted->Increment();
+      const int64_t depth = static_cast<int64_t>(queue_->depth());
+      m.queue_depth->Set(depth);
+      m.queue_depth_peak->SetMax(depth);
+      return;
+    }
+    case WorkQueue::Push::kOverloaded:
+      m.rejected_overloaded->Increment();
+      respond->Send(ErrorResponse(
+          id, "overloaded", "admission queue full; retry later",
+          StrFormat(",\"retry_after_ms\":%lld",
+                    static_cast<long long>(options_.retry_after_ms))));
+      return;
+    case WorkQueue::Push::kShutdown:
+      m.rejected_draining->Increment();
+      respond->Send(ErrorResponse(id, "draining", "daemon is draining; not admitting requests"));
+      return;
+  }
+}
+
+void Daemon::RunDiagnose(const DiagnoseJob& job, const std::shared_ptr<OnceResponder>& respond) {
+  const Metrics& m = Metrics::Get();
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  m.in_flight->Add(1);
+  m.queue_depth->Set(static_cast<int64_t>(queue_->depth()));
+
+  // Load/chaos hook: an artificial pre-diagnosis delay, so drivers can pin a
+  // worker for a known time. Sliced so a hard drain cuts it short.
+  for (int64_t held = 0; held < job.hold_ms && !drain_hard_.load(std::memory_order_acquire);
+       held += 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const double deadline_seconds = static_cast<double>(job.deadline_ms) / 1e3;
+  auto run_watch = std::make_shared<Stopwatch>();
+  AitiaOptions options;
+  options.set_jobs(job.jobs);
+  options.set_deadline(deadline_seconds);
+  // The cancel probe is the hard bound: it fires when the request exceeds
+  // its whole-request budget or when the drain grace expired — either way
+  // the supervised stages unwind with kCancelled and the report degrades.
+  options.set_cancel([this, run_watch, deadline_seconds] {
+    return drain_hard_.load(std::memory_order_acquire) ||
+           run_watch->ElapsedSeconds() > deadline_seconds;
+  });
+  if (options_.faults.enabled()) {
+    FaultPlan plan = options_.faults;
+    // Vary the fault stream per scenario (deterministically) so a corpus
+    // replay does not fail the same way 22 times.
+    plan.seed ^= job.fingerprint;
+    options.lifs.supervisor.faults = plan;
+    options.lifs.supervisor.max_attempts = options_.fault_max_attempts;
+    options.causality.supervisor.faults = plan;
+    options.causality.supervisor.max_attempts = options_.fault_max_attempts;
+  }
+
+  AitiaReport report = DiagnoseScenario(job.scenario, options);
+  const std::string report_json = ReportToJson(report, *job.scenario.image);
+  const char* status_word = StatusWord(report);
+
+  m.completed->Increment();
+  if (std::string(status_word) == "degraded") {
+    m.degraded->Increment();
+  } else if (job.cacheable) {
+    // Only clean outcomes are cacheable; see cache.h.
+    cache_.Put(job.fingerprint, {status_word, report_json});
+  }
+  const double elapsed_ms = job.admitted.ElapsedMillis();
+  m.request_ms->Record(static_cast<int64_t>(elapsed_ms));
+  respond->Send(
+      ResultResponse(job.id, job.scenario.id, status_word, "miss", elapsed_ms, report_json));
+
+  m.in_flight->Add(-1);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Daemon::BeginDrain() {
+  if (!draining_.exchange(true, std::memory_order_acq_rel)) {
+    Metrics::Get().draining->Set(1);
+    AITIA_LOG(kInfo) << "aitiad: drain started (queue=" << queue_->depth()
+                     << " in_flight=" << in_flight() << ")";
+  }
+}
+
+void Daemon::Drain() {
+  BeginDrain();
+  if (drained_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Let queued + in-flight work finish under its own deadlines for up to the
+  // grace period, then arm the hard cancel probe: supervised runs return
+  // kCancelled within a simulator step and the pipeline degrades out.
+  Stopwatch grace;
+  while ((queue_->depth() > 0 || in_flight() > 0) &&
+         grace.ElapsedMillis() < static_cast<double>(options_.drain_grace_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (queue_->depth() > 0 || in_flight() > 0) {
+    AITIA_LOG(kWarn) << "aitiad: drain grace expired; cancelling in-flight work";
+    drain_hard_.store(true, std::memory_order_release);
+  }
+  // Authoritative completion barrier: every accepted task has fully run (and
+  // responded) once this returns.
+  queue_->Drain();
+  Metrics::Get().queue_depth->Set(0);
+  AITIA_LOG(kInfo) << "aitiad: drain complete";
+}
+
+std::string Daemon::MetricsJson() {
+  return obs::MetricsRegistry::Global().Snapshot().ToJson();
+}
+
+}  // namespace svc
+}  // namespace aitia

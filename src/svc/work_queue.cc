@@ -1,0 +1,93 @@
+#include "src/svc/work_queue.h"
+
+#include <utility>
+
+namespace aitia {
+namespace svc {
+
+WorkQueue::WorkQueue(Options options)
+    : options_([&] {
+        if (options.shards == 0) {
+          options.shards = 1;
+        }
+        if (options.shard_capacity == 0) {
+          options.shard_capacity = 1;
+        }
+        return options;
+      }()),
+      pool_(options_.workers) {
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+WorkQueue::~WorkQueue() { Drain(); }
+
+WorkQueue::Push WorkQueue::TryPush(uint64_t shard_hint, std::function<void()> task) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Push::kShutdown;
+  }
+  Shard& shard = *shards_[shard_hint % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.q.size() >= options_.shard_capacity) {
+      return Push::kOverloaded;
+    }
+    shard.q.push_back(std::move(task));
+  }
+  depth_.fetch_add(1, std::memory_order_relaxed);
+  // One pump per accepted task. TrySubmit can only refuse here because
+  // Drain() raced us and already shut the pool down; the task stays in its
+  // shard and Drain's inline sweep picks it up, preserving the acceptance
+  // guarantee without un-pushing (another pump may already have consumed
+  // this slot's task, so removal would be ambiguous).
+  (void)pool_.TrySubmit([this] { RunOne(); });
+  return Push::kAccepted;
+}
+
+void WorkQueue::RunOne() {
+  std::function<void()> task;
+  const size_t n = shards_.size();
+  const size_t start = static_cast<size_t>(rr_.fetch_add(1, std::memory_order_relaxed)) % n;
+  for (size_t i = 0; i < n && !task; ++i) {
+    Shard& shard = *shards_[(start + i) % n];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.q.empty()) {
+      task = std::move(shard.q.front());
+      shard.q.pop_front();
+    }
+  }
+  if (!task) {
+    return;  // defensive: pumps never outnumber tasks, but stay safe anyway
+  }
+  depth_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+}
+
+void WorkQueue::Drain() {
+  stopping_.store(true, std::memory_order_release);
+  // Runs every accepted pump, then joins the workers. Idempotent.
+  pool_.Shutdown();
+  // Sweep any task whose pump lost the shutdown race: it was accepted, so it
+  // must still run — inline, on the draining thread.
+  for (;;) {
+    std::function<void()> task;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      if (!shard->q.empty()) {
+        task = std::move(shard->q.front());
+        shard->q.pop_front();
+        break;
+      }
+    }
+    if (!task) {
+      break;
+    }
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    task();
+  }
+}
+
+}  // namespace svc
+}  // namespace aitia

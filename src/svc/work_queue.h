@@ -1,0 +1,85 @@
+// Bounded, sharded admission queue feeding the diagnosis workers.
+//
+// This is the daemon's load-shedding boundary (DESIGN.md §11): a request is
+// either accepted — and then guaranteed to run exactly once, even across a
+// drain — or rejected *immediately* at push time while the queue still holds
+// at most `shards × shard_capacity` tasks. Nothing ever blocks or buffers
+// without bound, so a flood costs rejections, not memory.
+//
+// Structure: K shards (mutex + deque each), addressed by the caller's shard
+// hint (the scenario fingerprint), in front of a ThreadPool of W workers.
+// Each accepted task enqueues one "pump" via ThreadPool::TrySubmit; a pump
+// pops one task from the shards in round-robin order, so a hot shard cannot
+// starve the others and #pending-pumps always equals #queued-tasks. If the
+// pool begins shutdown between the shard push and the pump submit, the task
+// stays queued and Drain()'s inline sweep runs it — accepted still means
+// "will run".
+
+#ifndef SRC_SVC_WORK_QUEUE_H_
+#define SRC_SVC_WORK_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace aitia {
+namespace svc {
+
+class WorkQueue {
+ public:
+  struct Options {
+    size_t workers = 1;
+    size_t shards = 1;
+    size_t shard_capacity = 8;
+  };
+
+  enum class Push {
+    kAccepted,    // will run exactly once
+    kOverloaded,  // the target shard is full — shed immediately
+    kShutdown,    // drain has begun — no longer admitting
+  };
+
+  explicit WorkQueue(Options options);
+  ~WorkQueue();
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  // Non-blocking admission. `shard_hint` routes the task (hint % shards).
+  Push TryPush(uint64_t shard_hint, std::function<void()> task);
+
+  // Tasks queued but not yet started (never exceeds shards × shard_capacity).
+  size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
+  // Stops admitting, runs every accepted task, joins the workers.
+  // Idempotent; called by the destructor.
+  void Drain();
+
+  size_t worker_count() const { return pool_.worker_count(); }
+
+ private:
+  void RunOne();
+
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  const Options options_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> depth_{0};
+  std::atomic<uint64_t> rr_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ThreadPool pool_;  // declared last: its dtor joins before shards die
+};
+
+}  // namespace svc
+}  // namespace aitia
+
+#endif  // SRC_SVC_WORK_QUEUE_H_

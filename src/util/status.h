@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,            // invariant violation inside the pipeline
   kInvalidArgument,     // malformed input (trace parse / semantic errors)
   kNotFound,            // named entity (scenario, file) does not exist
+  kCancelled,           // caller withdrew the request (service drain)
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -39,6 +40,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "?";
 }
@@ -67,6 +69,7 @@ class Status {
     return {StatusCode::kInvalidArgument, std::move(m)};
   }
   static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

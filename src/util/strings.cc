@@ -60,4 +60,13 @@ std::string JsonEscape(const std::string& raw) {
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
 }  // namespace aitia

@@ -4,7 +4,9 @@
 #define SRC_UTIL_STRINGS_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace aitia {
@@ -21,6 +23,11 @@ std::string PadRight(const std::string& s, size_t width);
 // JSON string escaping per RFC 8259 (quotes, backslashes, control
 // characters). Shared by the report serializer and the trace exporter.
 std::string JsonEscape(const std::string& raw);
+
+// FNV-1a 64-bit hash. Stable across platforms and process restarts, so it is
+// safe to use as a cache / sharding key for canonical text (the service
+// layer keys its result cache on the hash of a scenario's .ait form).
+uint64_t Fnv1a64(std::string_view data);
 
 }  // namespace aitia
 

@@ -12,7 +12,7 @@ size_t ThreadPool::ResolveWorkers(size_t workers) {
   return hw == 0 ? 1 : hw;
 }
 
-ThreadPool::ThreadPool(size_t workers) {
+ThreadPool::ThreadPool(size_t workers, size_t queue_limit) : queue_limit_(queue_limit) {
   workers = ResolveWorkers(workers);
   threads_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -44,6 +44,25 @@ bool ThreadPool::Submit(std::function<void()> task) {
     // either lands before shutdown (and will run during the drain) or is
     // refused here — it can never sit in the queue unexecuted.
     if (stopping_) {
+      return false;
+    }
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return false;
+    }
+    // Saturation check on *pending* tasks: what a worker has already picked
+    // up is capacity in use, not queue depth. The decision happens under the
+    // same lock as the push, so the bound is exact, never approximate.
+    if (queue_limit_ > 0 && tasks_.size() >= queue_limit_) {
       return false;
     }
     tasks_.push(std::move(task));

@@ -1,0 +1,272 @@
+// Unit tests for the service-layer building blocks beneath the daemon:
+// the hostile-input JSON parser, the bounded LRU result cache, the sharded
+// admission queue, and the scenario fingerprint the cache is keyed by.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bugs/registry.h"
+#include "src/ingest/ingest.h"
+#include "src/ingest/serialize.h"
+#include "src/svc/cache.h"
+#include "src/svc/jsonv.h"
+#include "src/svc/work_queue.h"
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace svc {
+namespace {
+
+// --- ParseJson ---------------------------------------------------------------
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_EQ(ParseJson("null").value().kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(ParseJson("true").value().AsBool());
+  EXPECT_FALSE(ParseJson("false").value().AsBool(true));
+  EXPECT_EQ(ParseJson("42").value().AsInt(), 42);
+  EXPECT_EQ(ParseJson("-7").value().AsInt(), -7);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5e2").value().AsDouble(), 250.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonParserTest, ParsesRequestShapedObject) {
+  auto parsed = ParseJson(
+      R"({"verb":"diagnose","id":"r1","scenario":"fig-1","jobs":2,)"
+      R"("deadline_ms":5000,"no_cache":true,"tags":[1,2,3]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue doc = std::move(parsed).value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("verb")->AsString(), "diagnose");
+  EXPECT_EQ(doc.Find("id")->AsString(), "r1");
+  EXPECT_EQ(doc.Find("jobs")->AsInt(), 2);
+  EXPECT_EQ(doc.Find("deadline_ms")->AsInt(), 5000);
+  EXPECT_TRUE(doc.Find("no_cache")->AsBool());
+  ASSERT_EQ(doc.Find("tags")->items().size(), 3u);
+  EXPECT_EQ(doc.Find("tags")->items()[2].AsInt(), 3);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, DecodesEscapesAndSurrogatePairs) {
+  auto parsed = ParseJson(R"("a\"b\\c\n\t\u0041\u00e9\ud83d\ude00")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "a\"b\\c\n\tA\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParserTest, MalformedInputsYieldStatusNotAbort) {
+  const char* bad[] = {
+      "",        "{",         "}",          "{\"a\":}",   "{\"a\" 1}",
+      "[1,]",    "{,}",       "nul",        "tru",        "+1",
+      "01",      "1.",        ".5",         "1e",         "\"unterminated",
+      "\"\\x\"", "\"\\u12\"", "\"\\ud800\"", "{\"a\":1}x", "[1 2]",
+      "'single'", "{\"a\":1,}",
+  };
+  for (const char* text : bad) {
+    auto parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(JsonParserTest, ErrorsCarryByteOffsets) {
+  auto parsed = ParseJson("{\"a\": bad}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(JsonParserTest, DepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  for (int i = 0; i < 64; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep, /*max_depth=*/32).ok());
+  EXPECT_TRUE(ParseJson(deep, /*max_depth=*/64).ok());
+  // Depth bombs cannot stack-overflow the daemon regardless of input size.
+  std::string bomb(100000, '[');
+  EXPECT_FALSE(ParseJson(bomb).ok());
+}
+
+TEST(JsonParserTest, RoundTripsDaemonResponses) {
+  // The parser must accept what the daemon's own writers emit.
+  auto parsed = ParseJson(
+      R"({"id":"d1","verb":"diagnose","scenario":"fig-1","status":"ok",)"
+      R"("cache":"miss","elapsed_ms":0.959,"report":{"diagnosed":true}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("report")->Find("diagnosed")->AsBool(), true);
+}
+
+// --- ResultCache -------------------------------------------------------------
+
+TEST(ResultCacheTest, GetAfterPut) {
+  ResultCache cache(4);
+  cache.Put(1, {"ok", "{\"r\":1}"});
+  auto hit = cache.Get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status_word, "ok");
+  EXPECT_EQ(hit->report_json, "{\"r\":1}");
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(3);
+  cache.Put(1, {"ok", "1"});
+  cache.Put(2, {"ok", "2"});
+  cache.Put(3, {"ok", "3"});
+  ASSERT_TRUE(cache.Get(1).has_value());  // 1 is now most-recent
+  cache.Put(4, {"ok", "4"});              // evicts 2, the LRU entry
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_TRUE(cache.Get(4).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingKey) {
+  ResultCache cache(2);
+  cache.Put(1, {"ok", "old"});
+  cache.Put(1, {"ok", "new"});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(1)->report_json, "new");
+}
+
+TEST(ResultCacheTest, CapacityZeroDisables) {
+  ResultCache cache(0);
+  cache.Put(1, {"ok", "1"});
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, StaysBoundedUnderChurn) {
+  ResultCache cache(8);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    cache.Put(k, {"ok", "x"});
+    ASSERT_LE(cache.size(), 8u);
+  }
+}
+
+// --- ScenarioFingerprint -----------------------------------------------------
+
+TEST(FingerprintTest, StableAcrossRequestForms) {
+  // The same scenario must fingerprint identically whether built from the
+  // corpus factory or re-assembled from its own .ait serialization — that is
+  // what makes the cache idempotent across request forms.
+  const BugScenario direct = MakeScenario("fig-1");
+  const uint64_t direct_fp = ScenarioFingerprint(direct);
+  const std::string ait = ScenarioToAit(direct);
+  auto reparsed = ScenarioFromAitText(ait, "<test>");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(ScenarioFingerprint(reparsed.value()), direct_fp);
+}
+
+TEST(FingerprintTest, DistinctAcrossCorpus) {
+  std::vector<uint64_t> seen;
+  for (const ScenarioEntry& entry : AllScenarios()) {
+    const uint64_t fp = ScenarioFingerprint(entry.make());
+    for (uint64_t other : seen) {
+      EXPECT_NE(fp, other) << "collision at " << entry.id;
+    }
+    seen.push_back(fp);
+  }
+}
+
+TEST(FingerprintTest, Fnv1a64KnownVectors) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+// --- WorkQueue ---------------------------------------------------------------
+
+TEST(WorkQueueTest, AcceptedTasksRunExactlyOnce) {
+  std::atomic<int> ran{0};
+  {
+    WorkQueue queue({/*workers=*/2, /*shards=*/4, /*shard_capacity=*/64});
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(queue.TryPush(static_cast<uint64_t>(i),
+                              [&ran] { ran.fetch_add(1); }),
+                WorkQueue::Push::kAccepted);
+    }
+    queue.Drain();
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(WorkQueueTest, OverloadedWhenTargetShardFull) {
+  // No workers consuming (one worker pinned on a gate), shard_capacity 2:
+  // the third push to the same shard must shed.
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  WorkQueue queue({/*workers=*/1, /*shards=*/2, /*shard_capacity=*/2});
+  ASSERT_EQ(queue.TryPush(0,
+                          [&] {
+                            while (!release.load()) {
+                              std::this_thread::sleep_for(
+                                  std::chrono::microseconds(50));
+                            }
+                            ran.fetch_add(1);
+                          }),
+            WorkQueue::Push::kAccepted);
+  // Wait for the worker to pick up the gate so shard 0 is empty again.
+  while (queue.depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  EXPECT_EQ(queue.TryPush(0, [&ran] { ran.fetch_add(1); }),
+            WorkQueue::Push::kAccepted);
+  EXPECT_EQ(queue.TryPush(2, [&ran] { ran.fetch_add(1); }),  // 2 % 2 == shard 0
+            WorkQueue::Push::kAccepted);
+  EXPECT_EQ(queue.TryPush(4, [&ran] { ran.fetch_add(1); }),
+            WorkQueue::Push::kOverloaded);
+  // The sibling shard still has room: rejection is per-shard, not global.
+  EXPECT_EQ(queue.TryPush(1, [&ran] { ran.fetch_add(1); }),
+            WorkQueue::Push::kAccepted);
+  EXPECT_LE(queue.depth(), 4u);
+  release.store(true);
+  queue.Drain();
+  EXPECT_EQ(ran.load(), 4);  // gate + 3 accepted; the shed task never ran
+}
+
+TEST(WorkQueueTest, RejectsAfterDrain) {
+  WorkQueue queue({/*workers=*/1, /*shards=*/1, /*shard_capacity=*/4});
+  queue.Drain();
+  std::atomic<int> ran{0};
+  EXPECT_EQ(queue.TryPush(0, [&ran] { ran.fetch_add(1); }),
+            WorkQueue::Push::kShutdown);
+  queue.Drain();  // idempotent
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(WorkQueueTest, DrainRunsEverythingAccepted) {
+  // Push from several threads while another thread drains: whatever was
+  // accepted must run exactly once, and nothing may be lost or doubled.
+  std::atomic<int> accepted{0};
+  std::atomic<int> ran{0};
+  WorkQueue queue({/*workers=*/2, /*shards=*/4, /*shard_capacity=*/8});
+  std::vector<std::thread> pushers;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < 4; ++t) {
+    pushers.emplace_back([&, t] {
+      for (uint64_t i = 0; !stop.load() && i < 10000; ++i) {
+        if (queue.TryPush(i * 4 + static_cast<uint64_t>(t),
+                          [&ran] { ran.fetch_add(1); }) ==
+            WorkQueue::Push::kAccepted) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Drain();
+  stop.store(true);
+  for (std::thread& t : pushers) {
+    t.join();
+  }
+  EXPECT_EQ(ran.load(), accepted.load());
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace aitia

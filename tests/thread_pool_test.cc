@@ -73,6 +73,71 @@ TEST(ThreadPoolShutdownTest, ParallelForOnStoppedPoolRunsInline) {
   }
 }
 
+TEST(ThreadPoolTrySubmitTest, AcceptedTasksRun) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2, /*queue_limit=*/1000);
+    int accepted = 0;
+    for (int i = 0; i < 100; ++i) {
+      if (pool.TrySubmit([&counter] { counter.fetch_add(1); })) {
+        ++accepted;
+      }
+    }
+    EXPECT_EQ(accepted, 100);  // queue never saturates at this limit
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTrySubmitTest, RejectsWhenSaturated) {
+  // One worker pinned on a gate, queue_limit 2: the first TrySubmit runs (or
+  // queues), the next two fill the queue, the fourth must bounce — without
+  // blocking the submitter.
+  ThreadPool pool(1, /*queue_limit=*/2);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ran.fetch_add(1);
+  }));
+  // Wait until the worker has dequeued the gate task, so queue depth is 0.
+  while (pool.QueueDepthForTest() != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  std::atomic<int> never{0};
+  EXPECT_FALSE(pool.TrySubmit([&never] { never.fetch_add(1); }));
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 3);     // gate + the two accepted tasks
+  EXPECT_EQ(never.load(), 0);   // the rejected task never runs
+  // Capacity freed up again: the next TrySubmit is accepted.
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolTrySubmitTest, RejectedAfterShutdown) {
+  ThreadPool pool(2, /*queue_limit=*/8);
+  pool.Shutdown();
+  std::atomic<int> counter{0};
+  EXPECT_FALSE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTrySubmitTest, ZeroLimitMeansUnbounded) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);  // default queue_limit = 0: TrySubmit never saturates
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+    }
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
 TEST(ThreadPoolShutdownTest, WaitAfterShutdownReturns) {
   ThreadPool pool(1);
   std::atomic<int> counter{0};
