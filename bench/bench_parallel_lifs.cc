@@ -1,29 +1,41 @@
-// Parallel LIFS frontier exploration — worker-count sweep (DESIGN.md §9).
+// Parallel LIFS frontier exploration — worker-count × replay-cache sweep
+// (DESIGN.md §9, §12).
 //
 // Runs LIFS on the multi-interleaving corpus scenarios at several worker
-// counts, verifies that every parallel result is identical to the serial
-// one (the §9 determinism contract), and writes the timing sweep to
-// BENCH_parallel_lifs.json:
+// counts with checkpoint/prefix-replay off and on, verifies that every cell
+// is identical to the serial replay-off one (the §9/§12 determinism
+// contract), and writes the sweep to BENCH_parallel_lifs.json:
 //
 //   $ bench_parallel_lifs                              # defaults below
 //   $ bench_parallel_lifs --workers=1,2,4 --repeat=9 \
 //         --scenarios=CVE-2017-15649,syz-02 --out=sweep.json
+//   $ bench_parallel_lifs --baseline=old_sweep.json    # regression check
 //
-// Per (scenario, workers) cell the minimum wall time over --repeat runs is
-// reported (minimum, not mean: scheduling noise only ever adds time).
-// Speedups are relative to the measured workers=1 cell of the same binary;
-// hardware_concurrency is recorded so single-CPU CI hosts are readable as
-// such.
+// Per (scenario, workers, replay) cell the minimum wall time over --repeat
+// runs is reported (minimum, not mean: scheduling noise only ever adds
+// time), together with the executed/replayed step split from the run budget.
+// Speedups are relative to the measured workers=1 replay-off cell of the
+// same binary; hardware_concurrency is recorded so single-CPU CI hosts are
+// readable as such.
+//
+// --baseline=FILE compares this sweep against an archived one: schedule
+// counts must match bit-exactly (hard failure — the search semantics
+// changed), and any matched cell more than 20% slower is flagged on stderr
+// (soft: CI hosts are noisy, so drift warns rather than fails).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/bugs/registry.h"
 #include "src/core/lifs.h"
+#include "src/obs/metrics.h"
+#include "src/svc/jsonv.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
 
@@ -47,7 +59,8 @@ std::vector<std::string> SplitCsv(const std::string& text) {
   return out;
 }
 
-// The fields the serial/parallel contract pins down, flattened for equality.
+// The fields the serial/parallel/replay contract pins down, flattened for
+// equality. budget.steps stays out: parallel batches legitimately overshoot.
 std::string ResultKey(const LifsResult& r) {
   return StrFormat("reproduced=%d k=%d executed=%lld pruned=%lld schedule=%s", r.reproduced ? 1 : 0,
                    r.interleaving_count, static_cast<long long>(r.schedules_executed),
@@ -57,6 +70,7 @@ std::string ResultKey(const LifsResult& r) {
 
 struct Cell {
   size_t workers = 0;
+  bool replay = false;
   double seconds = 0;
   // Per-phase split of the best rep's wall time (LifsResult's breakdown of
   // the discovery passes vs the depth-k frontier passes).
@@ -64,8 +78,83 @@ struct Cell {
   double depth_seconds = 0;
   int64_t schedules = 0;
   int64_t speculative = 0;
+  // Run-budget step split of the best rep: replay on trades executed for
+  // replayed while the total stays cold-run-equivalent.
+  int64_t executed_steps = 0;
+  int64_t replayed_steps = 0;
+  // ckpt.* counter deltas of the best rep (all zero with replay off).
+  int64_t ckpt_hits = 0;
+  int64_t ckpt_misses = 0;
+  int64_t ckpt_stores = 0;
+  int64_t ckpt_evictions = 0;
   bool identical = false;
 };
+
+// One archived cell from a --baseline file.
+struct BaselineCell {
+  size_t workers = 0;
+  bool replay = false;
+  double seconds = 0;
+};
+
+struct BaselineScenario {
+  int64_t schedules = 0;
+  std::vector<BaselineCell> cells;
+};
+
+bool LoadBaseline(const std::string& path,
+                  std::vector<std::pair<std::string, BaselineScenario>>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_parallel_lifs: cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = svc::ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_parallel_lifs: baseline %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const svc::JsonValue doc = std::move(parsed).value();
+  const svc::JsonValue* scenarios = doc.Find("scenarios");
+  if (scenarios == nullptr || scenarios->kind() != svc::JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "bench_parallel_lifs: baseline %s has no scenarios array\n",
+                 path.c_str());
+    return false;
+  }
+  for (const svc::JsonValue& s : scenarios->items()) {
+    const svc::JsonValue* id = s.Find("id");
+    if (id == nullptr || !id->is_string()) {
+      continue;
+    }
+    BaselineScenario bs;
+    if (const svc::JsonValue* n = s.Find("schedules"); n != nullptr) {
+      bs.schedules = n->AsInt();
+    }
+    if (const svc::JsonValue* sweep = s.Find("sweep");
+        sweep != nullptr && sweep->kind() == svc::JsonValue::Kind::kArray) {
+      for (const svc::JsonValue& c : sweep->items()) {
+        BaselineCell cell;
+        if (const svc::JsonValue* w = c.Find("workers"); w != nullptr) {
+          cell.workers = static_cast<size_t>(w->AsInt());
+        }
+        // Pre-replay baselines have no "replay" field; treat them as the
+        // replay-off cells they were.
+        if (const svc::JsonValue* r = c.Find("replay"); r != nullptr) {
+          cell.replay = r->AsBool();
+        }
+        if (const svc::JsonValue* sec = c.Find("seconds"); sec != nullptr) {
+          cell.seconds = sec->AsDouble();
+        }
+        bs.cells.push_back(cell);
+      }
+    }
+    out.emplace_back(id->AsString(), std::move(bs));
+  }
+  return true;
+}
 
 #ifndef AITIA_GIT_REVISION
 #define AITIA_GIT_REVISION "unknown"
@@ -78,6 +167,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> scenario_ids;
   int repeat = 5;
   std::string out_path = "BENCH_parallel_lifs.json";
+  std::string baseline_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,10 +182,13 @@ int main(int argc, char** argv) {
       repeat = std::atoi(arg.c_str() + 9);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
     } else {
       std::fprintf(stderr,
                    "usage: bench_parallel_lifs [--workers=1,2,4,8] [--scenarios=id,...]\n"
-                   "                           [--repeat=N] [--out=FILE.json]\n");
+                   "                           [--repeat=N] [--out=FILE.json]\n"
+                   "                           [--baseline=OLD.json]\n");
       return 2;
     }
   }
@@ -104,12 +197,17 @@ int main(int argc, char** argv) {
   }
   if (scenario_ids.empty()) {
     // Default to the bugs that need k >= 2: their frontiers are the widest,
-    // so they are where parallel exploration can actually help.
+    // so they are where parallel exploration and prefix replay can help.
     for (const ScenarioEntry& e : AllScenarios()) {
       if (e.make().truth.expected_interleavings >= 2) {
         scenario_ids.push_back(e.id);
       }
     }
+  }
+
+  std::vector<std::pair<std::string, BaselineScenario>> baseline;
+  if (!baseline_path.empty() && !LoadBaseline(baseline_path, baseline)) {
+    return 2;
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
@@ -121,6 +219,8 @@ int main(int argc, char** argv) {
                                "  \"scenarios\": [\n",
                                AITIA_GIT_REVISION, hw, repeat, scenario_ids.size());
   bool all_identical = true;
+  bool baseline_schedules_match = true;
+  int drift_flags = 0;
   for (size_t si = 0; si < scenario_ids.size(); ++si) {
     const std::string& id = scenario_ids[si];
     const ScenarioEntry* entry = FindScenario(id);
@@ -134,55 +234,110 @@ int main(int argc, char** argv) {
     std::string serial_key;
     double serial_seconds = 0;
     for (size_t w : workers) {
-      Cell cell;
-      cell.workers = w;
-      cell.seconds = -1;
-      for (int rep = 0; rep < repeat; ++rep) {
-        LifsOptions options;
-        options.target_type = s.truth.failure_type;
-        options.workers = w;
-        Lifs lifs(s.image.get(), s.slice, s.setup, options);
-        Stopwatch watch;
-        LifsResult r = lifs.Run();
-        const double elapsed = watch.ElapsedSeconds();
-        if (cell.seconds < 0 || elapsed < cell.seconds) {
-          cell.seconds = elapsed;
-          cell.discovery_seconds = r.discovery_seconds;
-          cell.depth_seconds = r.depth_seconds;
+      for (const bool replay : {false, true}) {
+        Cell cell;
+        cell.workers = w;
+        cell.replay = replay;
+        cell.seconds = -1;
+        for (int rep = 0; rep < repeat; ++rep) {
+          LifsOptions options;
+          options.target_type = s.truth.failure_type;
+          options.workers = w;
+          options.checkpointing = replay;
+          Lifs lifs(s.image.get(), s.slice, s.setup, options);
+          const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+          Stopwatch watch;
+          LifsResult r = lifs.Run();
+          const double elapsed = watch.ElapsedSeconds();
+          if (cell.seconds < 0 || elapsed < cell.seconds) {
+            cell.seconds = elapsed;
+            cell.discovery_seconds = r.discovery_seconds;
+            cell.depth_seconds = r.depth_seconds;
+            cell.executed_steps = r.budget.executed_steps;
+            cell.replayed_steps = r.budget.replayed_steps;
+            const obs::MetricsSnapshot delta =
+                obs::MetricsRegistry::Global().Snapshot().Delta(before);
+            cell.ckpt_hits = delta.counter("ckpt.hits");
+            cell.ckpt_misses = delta.counter("ckpt.misses");
+            cell.ckpt_stores = delta.counter("ckpt.stores");
+            cell.ckpt_evictions = delta.counter("ckpt.evictions");
+          }
+          cell.schedules = r.schedules_executed;
+          cell.speculative = r.speculative_runs;
+          const std::string key = ResultKey(r);
+          if (w == workers.front() && !replay && rep == 0) {
+            serial_key = key;
+          }
+          cell.identical = key == serial_key;
+          all_identical = all_identical && cell.identical;
         }
-        cell.schedules = r.schedules_executed;
-        cell.speculative = r.speculative_runs;
-        const std::string key = ResultKey(r);
-        if (w == workers.front() && rep == 0) {
-          serial_key = key;
+        if (w == workers.front() && !replay) {
+          serial_seconds = cell.seconds;
         }
-        cell.identical = key == serial_key;
-        all_identical = all_identical && cell.identical;
+        cells.push_back(cell);
       }
-      if (w == workers.front()) {
-        serial_seconds = cell.seconds;
-      }
-      cells.push_back(cell);
     }
 
-    std::printf("%-18s", id.c_str());
+    std::printf("%-18s\n", id.c_str());
     for (const Cell& c : cells) {
-      std::printf("  w=%zu %8.3fms (x%.2f%s)", c.workers, c.seconds * 1e3,
-                  c.seconds > 0 ? serial_seconds / c.seconds : 0.0, c.identical ? "" : " DIFF!");
+      std::printf("  w=%zu replay=%-3s %8.3fms (x%.2f)  executed=%lld replayed=%lld%s\n",
+                  c.workers, c.replay ? "on" : "off", c.seconds * 1e3,
+                  c.seconds > 0 ? serial_seconds / c.seconds : 0.0,
+                  static_cast<long long>(c.executed_steps),
+                  static_cast<long long>(c.replayed_steps), c.identical ? "" : "  DIFF!");
     }
-    std::printf("\n");
+
+    // Regression check against the archived sweep: bit-equal schedule counts
+    // (semantics), flagged wall-clock drift (performance).
+    for (const auto& [bid, bs] : baseline) {
+      if (bid != id) {
+        continue;
+      }
+      if (bs.schedules != cells.front().schedules) {
+        std::fprintf(stderr,
+                     "bench_parallel_lifs: %s schedule count changed vs baseline "
+                     "(%lld -> %lld)\n",
+                     id.c_str(), static_cast<long long>(bs.schedules),
+                     static_cast<long long>(cells.front().schedules));
+        baseline_schedules_match = false;
+      }
+      for (const BaselineCell& bc : bs.cells) {
+        for (const Cell& c : cells) {
+          if (c.workers == bc.workers && c.replay == bc.replay && bc.seconds > 0 &&
+              c.seconds > bc.seconds * 1.2) {
+            std::fprintf(stderr,
+                         "bench_parallel_lifs: DRIFT %s w=%zu replay=%s %.3fms -> %.3fms "
+                         "(+%.0f%%)\n",
+                         id.c_str(), c.workers, c.replay ? "on" : "off", bc.seconds * 1e3,
+                         c.seconds * 1e3, (c.seconds / bc.seconds - 1.0) * 100.0);
+            ++drift_flags;
+          }
+        }
+      }
+    }
 
     json += StrFormat("    {\"id\": \"%s\", \"schedules\": %lld, \"sweep\": [", id.c_str(),
                       static_cast<long long>(cells.front().schedules));
     for (size_t ci = 0; ci < cells.size(); ++ci) {
       const Cell& c = cells[ci];
-      json += StrFormat("%s{\"workers\": %zu, \"seconds\": %.6f, \"speedup\": %.3f, "
+      json += StrFormat("%s{\"workers\": %zu, \"replay\": %s, \"seconds\": %.6f, "
+                        "\"speedup\": %.3f, "
                         "\"phases\": {\"discovery_seconds\": %.6f, \"depth_seconds\": %.6f}, "
-                        "\"speculative_runs\": %lld, \"identical_to_serial\": %s}",
-                        ci == 0 ? "" : ", ", c.workers, c.seconds,
+                        "\"speculative_runs\": %lld, "
+                        "\"executed_steps\": %lld, \"replayed_steps\": %lld, "
+                        "\"ckpt\": {\"hits\": %lld, \"misses\": %lld, \"stores\": %lld, "
+                        "\"evictions\": %lld}, "
+                        "\"identical_to_serial\": %s}",
+                        ci == 0 ? "" : ", ", c.workers, c.replay ? "true" : "false", c.seconds,
                         c.seconds > 0 ? serial_seconds / c.seconds : 0.0,
                         c.discovery_seconds, c.depth_seconds,
-                        static_cast<long long>(c.speculative), c.identical ? "true" : "false");
+                        static_cast<long long>(c.speculative),
+                        static_cast<long long>(c.executed_steps),
+                        static_cast<long long>(c.replayed_steps),
+                        static_cast<long long>(c.ckpt_hits), static_cast<long long>(c.ckpt_misses),
+                        static_cast<long long>(c.ckpt_stores),
+                        static_cast<long long>(c.ckpt_evictions),
+                        c.identical ? "true" : "false");
     }
     json += StrFormat("]}%s\n", si + 1 == scenario_ids.size() ? "" : ",");
   }
@@ -196,8 +351,15 @@ int main(int argc, char** argv) {
   std::fputs(json.c_str(), out);
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
+  if (drift_flags > 0) {
+    std::fprintf(stderr, "bench_parallel_lifs: %d cell(s) drifted >20%% vs baseline (soft)\n",
+                 drift_flags);
+  }
   if (!all_identical) {
-    std::fprintf(stderr, "bench_parallel_lifs: PARALLEL RESULT DIVERGED FROM SERIAL\n");
+    std::fprintf(stderr, "bench_parallel_lifs: RESULT DIVERGED FROM SERIAL REPLAY-OFF RUN\n");
+    return 1;
+  }
+  if (!baseline_schedules_match) {
     return 1;
   }
   return 0;

@@ -28,3 +28,6 @@ if(NOT AITIA_GIT_REVISION)
 endif()
 target_compile_definitions(bench_parallel_lifs PRIVATE
     AITIA_GIT_REVISION="${AITIA_GIT_REVISION}")
+# The --baseline regression check parses archived sweep JSON with the svc
+# parser; the bench links it directly (the other benches do not need it).
+target_link_libraries(bench_parallel_lifs PRIVATE aitia_svc)

@@ -1,0 +1,41 @@
+#include "src/ckpt/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace aitia {
+namespace ckpt {
+namespace {
+
+constexpr size_t kChunkSize = 64 * 1024;
+
+size_t AlignUp(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+void* Arena::Allocate(size_t size, size_t align) {
+  bytes_ += size;
+  if (!chunks_.empty()) {
+    Chunk& c = chunks_.back();
+    size_t off = AlignUp(c.used, align);
+    if (off + size <= c.size) {
+      c.used = off + size;
+      return c.data.get() + off;
+    }
+  }
+  // A payload larger than the chunk size gets its own exact-fit chunk; the
+  // partially filled previous chunk stays usable for later small payloads
+  // only if it is still the back — keeping the allocator strictly bump-only
+  // is worth the slack.
+  Chunk c;
+  c.size = std::max(size + align, kChunkSize);
+  c.data = std::make_unique<std::byte[]>(c.size);
+  size_t off = AlignUp(reinterpret_cast<uintptr_t>(c.data.get()), align) -
+               reinterpret_cast<uintptr_t>(c.data.get());
+  c.used = off + size;
+  chunks_.push_back(std::move(c));
+  return chunks_.back().data.get() + off;
+}
+
+}  // namespace ckpt
+}  // namespace aitia

@@ -1,0 +1,64 @@
+// Arena for checkpoint payloads (DESIGN.md §12).
+//
+// Snapshotting a run must be a handful of bulk copies, not a malloc per
+// trace event: LIFS deposits checkpoints on its hot path, so capture cost is
+// directly schedule-throughput cost. The arena is a chunked bump allocator —
+// payloads are memcpy'd in, freed all at once when the checkpoint dies, and
+// addressed through stable std::spans.
+
+#ifndef SRC_CKPT_ARENA_H_
+#define SRC_CKPT_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace aitia {
+namespace ckpt {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Copies `n` elements into arena storage; the returned span stays valid for
+  // the arena's lifetime.
+  template <typename T>
+  std::span<const T> Copy(const T* data, size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena payloads must be bulk-copyable");
+    if (n == 0) {
+      return {};
+    }
+    T* dst = static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    std::memcpy(dst, data, n * sizeof(T));
+    return {dst, n};
+  }
+  template <typename T>
+  std::span<const T> Copy(const std::vector<T>& v) {
+    return Copy(v.data(), v.size());
+  }
+
+  // Total payload bytes copied in (chunk slack excluded).
+  size_t bytes() const { return bytes_; }
+
+ private:
+  void* Allocate(size_t size, size_t align);
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t used = 0;
+    size_t size = 0;
+  };
+  std::vector<Chunk> chunks_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace ckpt
+}  // namespace aitia
+
+#endif  // SRC_CKPT_ARENA_H_

@@ -1,0 +1,203 @@
+#include "src/ckpt/checkpoint.h"
+
+#include <utility>
+
+namespace aitia {
+namespace ckpt {
+
+std::shared_ptr<const SimCheckpoint> SimCheckpoint::Capture(const KernelSim& sim) {
+  return SimAccess::Capture(sim);
+}
+
+std::unique_ptr<KernelSim> SimCheckpoint::Restore() const {
+  return SimAccess::Restore(*this);
+}
+
+size_t SimCheckpoint::bytes() const {
+  size_t n = sizeof(SimCheckpoint) + arena_.bytes();
+  for (const std::string& name : thread_names_) {
+    n += name.size();
+  }
+  if (failure_.has_value()) {
+    n += failure_->message.size();
+  }
+  return n;
+}
+
+std::shared_ptr<const SimCheckpoint> SimAccess::Capture(const KernelSim& sim) {
+  auto c = std::shared_ptr<SimCheckpoint>(new SimCheckpoint());
+  c->image_ = sim.image_;
+
+  // Threads: fixed-size fields packed, variable-length tails pooled.
+  std::vector<SimCheckpoint::PackedThread> threads;
+  std::vector<Pc> stack_pool;
+  std::vector<Addr> lock_pool;
+  std::vector<SimCheckpoint::PackedCount> count_pool;
+  threads.reserve(sim.threads_.size());
+  c->thread_names_.reserve(sim.threads_.size());
+  for (const ThreadContext& t : sim.threads_) {
+    SimCheckpoint::PackedThread p;
+    p.id = t.id;
+    p.prog = t.prog;
+    p.kind = t.kind;
+    p.state = t.state;
+    p.regs = t.regs;
+    p.pc = t.pc;
+    p.blocked_on = t.blocked_on;
+    p.parent = t.parent;
+    p.spawn_seq = t.spawn_seq;
+    p.initial_arg = t.initial_arg;
+    p.stack_off = static_cast<uint32_t>(stack_pool.size());
+    p.stack_len = static_cast<uint32_t>(t.call_stack.size());
+    stack_pool.insert(stack_pool.end(), t.call_stack.begin(), t.call_stack.end());
+    p.locks_off = static_cast<uint32_t>(lock_pool.size());
+    p.locks_len = static_cast<uint32_t>(t.held_locks.size());
+    lock_pool.insert(lock_pool.end(), t.held_locks.begin(), t.held_locks.end());
+    p.counts_off = static_cast<uint32_t>(count_pool.size());
+    p.counts_len = static_cast<uint32_t>(t.exec_counts.size());
+    for (const auto& [pc, n] : t.exec_counts) {
+      count_pool.push_back({pc, n});
+    }
+    threads.push_back(p);
+    c->thread_names_.push_back(t.name);
+  }
+
+  std::vector<SimCheckpoint::PackedEvent> trace;
+  trace.reserve(sim.trace_.size());
+  for (const ExecEvent& e : sim.trace_) {
+    SimCheckpoint::PackedEvent p;
+    p.seq = e.seq;
+    p.di = e.di;
+    p.op = e.op;
+    p.is_access = e.is_access;
+    p.is_write = e.is_write;
+    p.addr = e.addr;
+    p.len = e.len;
+    p.value = e.value;
+    p.locks_off = static_cast<uint32_t>(lock_pool.size());
+    p.locks_len = static_cast<uint32_t>(e.locks_held.size());
+    lock_pool.insert(lock_pool.end(), e.locks_held.begin(), e.locks_held.end());
+    trace.push_back(p);
+  }
+
+  std::vector<SimCheckpoint::PackedCell> cells;
+  cells.reserve(sim.memory_.cells_.size());
+  for (const auto& [addr, value] : sim.memory_.cells_) {
+    cells.push_back({addr, value});
+  }
+  std::vector<SimCheckpoint::PackedList> lists;
+  std::vector<Word> list_pool;
+  lists.reserve(sim.memory_.lists_.size());
+  for (const auto& [head, dq] : sim.memory_.lists_) {
+    lists.push_back({head, static_cast<uint32_t>(list_pool.size()),
+                     static_cast<uint32_t>(dq.size())});
+    list_pool.insert(list_pool.end(), dq.begin(), dq.end());
+  }
+  std::vector<HeapObject> objects(sim.memory_.objects_.begin(), sim.memory_.objects_.end());
+  std::vector<ThreadId> ipi(sim.ipi_pending_.begin(), sim.ipi_pending_.end());
+
+  c->threads_ = c->arena_.Copy(threads);
+  c->stack_pool_ = c->arena_.Copy(stack_pool);
+  c->lock_pool_ = c->arena_.Copy(lock_pool);
+  c->count_pool_ = c->arena_.Copy(count_pool);
+  c->trace_ = c->arena_.Copy(trace);
+  c->spawns_ = c->arena_.Copy(sim.spawns_);
+  c->cells_ = c->arena_.Copy(cells);
+  c->objects_ = c->arena_.Copy(objects);
+  c->lists_ = c->arena_.Copy(lists);
+  c->list_pool_ = c->arena_.Copy(list_pool);
+  c->ipi_pending_ = c->arena_.Copy(ipi);
+
+  c->failure_ = sim.failure_;
+  c->next_seq_ = sim.next_seq_;
+  c->spawn_counter_ = sim.spawn_counter_;
+  c->recording_ = sim.recording_;
+  c->setup_thread_count_ = sim.setup_thread_count_;
+  c->ipi_broadcaster_ = sim.ipi_broadcaster_;
+  c->next_heap_ = sim.memory_.next_heap_;
+  c->global_top_ = sim.memory_.global_top_;
+  return c;
+}
+
+std::unique_ptr<KernelSim> SimAccess::Restore(const SimCheckpoint& c) {
+  if (c.version_ != kCheckpointVersion) {
+    return nullptr;
+  }
+  auto sim = std::unique_ptr<KernelSim>(
+      new KernelSim(c.image_, KernelSim::RestoreShellTag{}));
+
+  // Memory. The shell constructor seeded the globals; the captured cell set
+  // is authoritative (it includes them), so overwrite wholesale. Map
+  // insertion order differs from the original's construction order — safe:
+  // nothing in the pipeline iterates cells_/lists_ except for boolean
+  // reachability (Memory::LeakedObjects), and objects_ keeps its vector
+  // order, which is what failure reporting depends on.
+  Memory& m = sim->memory_;
+  m.cells_.clear();
+  m.cells_.reserve(c.cells_.size());
+  for (const auto& cell : c.cells_) {
+    m.cells_.emplace(cell.addr, cell.value);
+  }
+  m.objects_.assign(c.objects_.begin(), c.objects_.end());
+  m.lists_.clear();
+  for (const auto& pl : c.lists_) {
+    std::deque<Word>& dq = m.lists_[pl.head];
+    dq.assign(c.list_pool_.begin() + pl.off, c.list_pool_.begin() + pl.off + pl.len);
+  }
+  m.next_heap_ = c.next_heap_;
+  m.global_top_ = c.global_top_;
+
+  for (size_t ti = 0; ti < c.threads_.size(); ++ti) {
+    const SimCheckpoint::PackedThread& p = c.threads_[ti];
+    ThreadContext t;
+    t.id = p.id;
+    t.name = c.thread_names_[ti];
+    t.prog = p.prog;
+    t.kind = p.kind;
+    t.state = p.state;
+    t.regs = p.regs;
+    t.pc = p.pc;
+    t.call_stack.assign(c.stack_pool_.begin() + p.stack_off,
+                        c.stack_pool_.begin() + p.stack_off + p.stack_len);
+    t.blocked_on = p.blocked_on;
+    t.held_locks.assign(c.lock_pool_.begin() + p.locks_off,
+                        c.lock_pool_.begin() + p.locks_off + p.locks_len);
+    t.exec_counts.reserve(p.counts_len);
+    for (uint32_t i = 0; i < p.counts_len; ++i) {
+      const SimCheckpoint::PackedCount& pc = c.count_pool_[p.counts_off + i];
+      t.exec_counts.emplace(pc.pc, pc.count);
+    }
+    t.parent = p.parent;
+    t.spawn_seq = p.spawn_seq;
+    t.initial_arg = p.initial_arg;
+    sim->threads_.push_back(std::move(t));
+  }
+
+  sim->trace_.reserve(c.trace_.size());
+  for (const SimCheckpoint::PackedEvent& p : c.trace_) {
+    ExecEvent e;
+    e.seq = p.seq;
+    e.di = p.di;
+    e.op = p.op;
+    e.is_access = p.is_access;
+    e.is_write = p.is_write;
+    e.addr = p.addr;
+    e.len = p.len;
+    e.value = p.value;
+    e.locks_held.assign(c.lock_pool_.begin() + p.locks_off,
+                        c.lock_pool_.begin() + p.locks_off + p.locks_len);
+    sim->trace_.push_back(std::move(e));
+  }
+  sim->spawns_.assign(c.spawns_.begin(), c.spawns_.end());
+  sim->failure_ = c.failure_;
+  sim->next_seq_ = c.next_seq_;
+  sim->spawn_counter_ = c.spawn_counter_;
+  sim->recording_ = c.recording_;
+  sim->setup_thread_count_ = c.setup_thread_count_;
+  sim->ipi_broadcaster_ = c.ipi_broadcaster_;
+  sim->ipi_pending_ = std::set<ThreadId>(c.ipi_pending_.begin(), c.ipi_pending_.end());
+  return sim;
+}
+
+}  // namespace ckpt
+}  // namespace aitia

@@ -1,0 +1,142 @@
+// Versioned full-state checkpoints of a KernelSim run (DESIGN.md §12).
+//
+// A SimCheckpoint is an immutable, self-contained copy of everything that
+// determines a run's future: thread contexts, heap and shared memory, the
+// recorded trace, spawn edges, and TLB-shootdown/IRQ state. The KernelImage
+// is shared by pointer — images are immutable after construction, so
+// copy-on-write degenerates to plain sharing and a checkpoint costs O(run
+// state), never O(program size). Restore() builds a fresh KernelSim whose
+// continuation is bit-identical to the captured one (asserted corpus-wide by
+// tests/ckpt_differential_test.cc); the observer hook is deliberately not
+// restored — the enforcer reattaches its own.
+
+#ifndef SRC_CKPT_CHECKPOINT_H_
+#define SRC_CKPT_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/arena.h"
+#include "src/sim/access.h"
+#include "src/sim/failure.h"
+#include "src/sim/kernel.h"
+#include "src/sim/memory.h"
+#include "src/sim/thread.h"
+#include "src/sim/types.h"
+
+namespace aitia {
+namespace ckpt {
+
+// Bumped whenever the packed layout changes. Restore() refuses a mismatch
+// (returning nullptr) so a checkpoint handed across a version boundary fails
+// loudly as a cache miss, never as silent state corruption.
+inline constexpr int32_t kCheckpointVersion = 1;
+
+class SimCheckpoint {
+ public:
+  // Captures the full run state of `sim`. The checkpoint shares the
+  // KernelImage with `sim` and must not outlive it.
+  static std::shared_ptr<const SimCheckpoint> Capture(const KernelSim& sim);
+
+  // Rebuilds a KernelSim identical to the captured one (nullptr on a
+  // version mismatch).
+  std::unique_ptr<KernelSim> Restore() const;
+
+  // Approximate retained payload size — the store's LRU/budget currency.
+  size_t bytes() const;
+
+  int32_t version() const { return version_; }
+
+ private:
+  friend class SimAccess;
+  SimCheckpoint() = default;
+
+  // Packed layouts: variable-length members are flattened into arena pools
+  // referenced by (offset, length), so capture and restore are bulk copies.
+  struct PackedEvent {
+    int64_t seq;
+    DynInstr di;
+    Op op;
+    bool is_access;
+    bool is_write;
+    Addr addr;
+    Addr len;
+    Word value;
+    uint32_t locks_off;
+    uint32_t locks_len;
+  };
+  struct PackedThread {
+    ThreadId id;
+    ProgramId prog;
+    ThreadKind kind;
+    ThreadState state;
+    std::array<Word, kNumRegs> regs;
+    Pc pc;
+    Addr blocked_on;
+    ThreadId parent;
+    int64_t spawn_seq;
+    Word initial_arg;
+    uint32_t stack_off, stack_len;
+    uint32_t locks_off, locks_len;
+    uint32_t counts_off, counts_len;
+  };
+  struct PackedCount {
+    Pc pc;
+    int32_t count;
+  };
+  struct PackedCell {
+    Addr addr;
+    Word value;
+  };
+  struct PackedList {
+    Addr head;
+    uint32_t off, len;
+  };
+
+  int32_t version_ = kCheckpointVersion;
+  const KernelImage* image_ = nullptr;
+  Arena arena_;
+
+  // Kernel state.
+  std::span<const PackedThread> threads_;
+  std::vector<std::string> thread_names_;  // parallel to threads_
+  std::span<const Pc> stack_pool_;
+  std::span<const Addr> lock_pool_;  // thread held_locks + event locks_held
+  std::span<const PackedCount> count_pool_;
+  std::span<const PackedEvent> trace_;
+  std::span<const SpawnEdge> spawns_;
+  std::optional<Failure> failure_;
+  int64_t next_seq_ = 0;
+  int spawn_counter_ = 0;
+  bool recording_ = true;
+  int setup_thread_count_ = 0;
+  ThreadId ipi_broadcaster_ = kNoThread;
+  std::span<const ThreadId> ipi_pending_;
+
+  // Memory state.
+  std::span<const PackedCell> cells_;
+  std::span<const HeapObject> objects_;  // in allocation order
+  std::span<const PackedList> lists_;
+  std::span<const Word> list_pool_;
+  Addr next_heap_ = kHeapBase;
+  Addr global_top_ = kGlobalBase;
+};
+
+// The one friend of KernelSim and Memory: moves run state across the
+// public-interface boundary in both directions. Everything else must go
+// through the execution API.
+class SimAccess {
+ public:
+  static std::shared_ptr<const SimCheckpoint> Capture(const KernelSim& sim);
+  static std::unique_ptr<KernelSim> Restore(const SimCheckpoint& c);
+};
+
+}  // namespace ckpt
+}  // namespace aitia
+
+#endif  // SRC_CKPT_CHECKPOINT_H_

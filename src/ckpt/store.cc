@@ -1,0 +1,362 @@
+#include "src/ckpt/store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace aitia {
+namespace ckpt {
+namespace {
+
+struct CkptMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* stores;
+  obs::Counter* evictions;
+  obs::Gauge* bytes_retained;
+  obs::Counter* executed_steps;
+  obs::Counter* replayed_steps;
+
+  static const CkptMetrics& Get() {
+    static const CkptMetrics* const m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* cm = new CkptMetrics();
+      cm->hits = reg.GetCounter("ckpt.hits");
+      cm->misses = reg.GetCounter("ckpt.misses");
+      cm->stores = reg.GetCounter("ckpt.stores");
+      cm->evictions = reg.GetCounter("ckpt.evictions");
+      cm->bytes_retained = reg.GetGauge("ckpt.bytes_retained");
+      cm->executed_steps = reg.GetCounter("ckpt.executed_steps");
+      cm->replayed_steps = reg.GetCounter("ckpt.replayed_steps");
+      return cm;
+    }();
+    return *m;
+  }
+};
+
+size_t BytesOf(const PreemptPrefixState& st) {
+  size_t n = sizeof(st);
+  n += st.fired.size() * sizeof(PreemptPoint);
+  n += st.park_fifo.size() * sizeof(ThreadId);
+  n += st.armed.size() * sizeof(Watchpoints::Armed);
+  for (const WatchpointHit& h : st.hits) {
+    n += sizeof(h) + h.access.locks_held.size() * sizeof(Addr);
+  }
+  n += (st.pre_seen.size() + st.post_seen.size()) * sizeof(DynInstr);
+  return n;
+}
+
+size_t BytesOf(const TotalOrderPrefixState& st) {
+  size_t n = sizeof(st);
+  n += st.prefix.size() * sizeof(DynInstr);
+  n += st.irq_threads.size() * (sizeof(ThreadId) + sizeof(ProgramId) + sizeof(Word));
+  n += (st.diverged.size() + st.injected_irqs.size()) * sizeof(ThreadId);
+  n += st.disappeared.size() * sizeof(DynInstr);
+  return n;
+}
+
+// Would replaying `points` over the recorded prefix have fired exactly
+// `st.fired`, in order, and nothing else? Fired points are matched against
+// the first unconsumed candidate with the same (before, instruction)
+// signature — the enforcer's own scan order — and must then match in every
+// field. Unconsumed leftovers must never have had an opportunity to fire.
+bool ProbePreempt(const PreemptPrefixState& st, const std::vector<PreemptPoint>& points,
+                  std::vector<bool>& consumed) {
+  consumed.assign(points.size(), false);
+  for (const PreemptPoint& f : st.fired) {
+    size_t match = points.size();
+    for (size_t pi = 0; pi < points.size(); ++pi) {
+      if (!consumed[pi] && points[pi].before == f.before && points[pi].after == f.after) {
+        match = pi;
+        break;
+      }
+    }
+    if (match == points.size() || !(points[match] == f)) {
+      return false;
+    }
+    consumed[match] = true;
+  }
+  for (size_t pi = 0; pi < points.size(); ++pi) {
+    if (consumed[pi]) {
+      continue;
+    }
+    const std::vector<DynInstr>& seen = points[pi].before ? st.pre_seen : st.post_seen;
+    if (std::binary_search(seen.begin(), seen.end(), points[pi].after)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(StoreOptions options) : options_(options) {}
+
+CheckpointStore::~CheckpointStore() {
+  const int64_t retained = static_cast<int64_t>(prefix_bytes_ + baseline_bytes_);
+  if (retained > 0) {
+    CkptMetrics::Get().bytes_retained->Add(-retained);
+  }
+}
+
+size_t CheckpointStore::bytes_retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prefix_bytes_ + baseline_bytes_;
+}
+
+void CheckpointStore::EvictLocked() {
+  while (prefix_bytes_ > options_.byte_budget) {
+    uint64_t min_tick = std::numeric_limits<uint64_t>::max();
+    size_t pi = preempt_.size(), ti = total_order_.size();
+    for (size_t i = 0; i < preempt_.size(); ++i) {
+      if (preempt_[i].tick < min_tick) {
+        min_tick = preempt_[i].tick;
+        pi = i;
+        ti = total_order_.size();
+      }
+    }
+    for (size_t i = 0; i < total_order_.size(); ++i) {
+      if (total_order_[i].tick < min_tick) {
+        min_tick = total_order_[i].tick;
+        ti = i;
+        pi = preempt_.size();
+      }
+    }
+    size_t freed = 0;
+    if (ti < total_order_.size()) {
+      freed = total_order_[ti].bytes;
+      total_order_.erase(total_order_.begin() + static_cast<std::ptrdiff_t>(ti));
+    } else if (pi < preempt_.size()) {
+      freed = preempt_[pi].bytes;
+      preempt_.erase(preempt_.begin() + static_cast<std::ptrdiff_t>(pi));
+    } else {
+      return;  // nothing evictable
+    }
+    prefix_bytes_ -= freed;
+    CkptMetrics::Get().evictions->Increment();
+    CkptMetrics::Get().bytes_retained->Add(-static_cast<int64_t>(freed));
+  }
+}
+
+std::unique_ptr<KernelSim> CheckpointStore::FindBaseline() {
+  std::shared_ptr<const SimCheckpoint> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = baseline_;
+  }
+  if (base == nullptr) {
+    CkptMetrics::Get().misses->Increment();
+    return nullptr;
+  }
+  obs::Span span("ckpt", "ckpt.restore");
+  span.Arg("kind", "baseline");
+  std::unique_ptr<KernelSim> sim = base->Restore();
+  if (sim == nullptr) {
+    CkptMetrics::Get().misses->Increment();
+    return nullptr;
+  }
+  CkptMetrics::Get().hits->Increment();
+  return sim;
+}
+
+void CheckpointStore::PutBaseline(const KernelSim& sim) {
+  {
+    // Cheap pre-check: duplicates are the common case (every cold run of a
+    // slice offers the same baseline), and capture is the expensive part.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (baseline_ != nullptr) {
+      return;  // first deposit wins; concurrent deposits are identical
+    }
+  }
+  std::shared_ptr<const SimCheckpoint> c = SimCheckpoint::Capture(sim);
+  const size_t bytes = c->bytes();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (baseline_ != nullptr) {
+      return;  // lost a concurrent deposit race; the states are identical
+    }
+    baseline_ = std::move(c);
+    baseline_bytes_ = bytes;
+  }
+  CkptMetrics::Get().stores->Increment();
+  CkptMetrics::Get().bytes_retained->Add(static_cast<int64_t>(bytes));
+}
+
+std::optional<PreemptHit> CheckpointStore::FindPreemptPrefix(
+    const PreemptionSchedule& schedule) {
+  std::shared_ptr<const SimCheckpoint> best_ckpt;
+  std::shared_ptr<const PreemptPrefixState> best_state;
+  std::vector<bool> best_consumed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PreemptEntry* best = nullptr;
+    std::vector<bool> consumed;
+    for (PreemptEntry& e : preempt_) {
+      if (e.base_order != schedule.base_order) {
+        continue;
+      }
+      if (best != nullptr && e.state->steps <= best->state->steps) {
+        continue;
+      }
+      if (!ProbePreempt(*e.state, schedule.points, consumed)) {
+        continue;
+      }
+      best = &e;
+      best_consumed = std::move(consumed);
+      consumed.clear();
+    }
+    if (best == nullptr) {
+      return std::nullopt;
+    }
+    best->tick = ++tick_;
+    best_ckpt = best->ckpt;
+    best_state = best->state;
+  }
+  obs::Span span("ckpt", "ckpt.restore");
+  span.Arg("kind", "preempt").Arg("steps", best_state->steps);
+  PreemptHit hit;
+  hit.sim = best_ckpt->Restore();
+  if (hit.sim == nullptr) {
+    return std::nullopt;
+  }
+  hit.state = std::move(best_state);
+  hit.consumed = std::move(best_consumed);
+  CkptMetrics::Get().hits->Increment();
+  return hit;
+}
+
+void CheckpointStore::PutPreemptPrefix(const KernelSim& sim,
+                                       const std::vector<ThreadId>& base_order,
+                                       PreemptPrefixState state) {
+  {
+    // Cheap pre-check before the expensive capture: sibling schedules that
+    // did not resume walk the same strided prefixes and re-offer them.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PreemptEntry& e : preempt_) {
+      if (e.state->steps == state.steps && e.base_order == base_order &&
+          e.state->fired == state.fired) {
+        return;  // identical key at the same depth: deterministic duplicate
+      }
+    }
+  }
+  std::shared_ptr<const SimCheckpoint> c = SimCheckpoint::Capture(sim);
+  auto st = std::make_shared<const PreemptPrefixState>(std::move(state));
+  const size_t bytes = c->bytes() + BytesOf(*st);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PreemptEntry& e : preempt_) {
+      if (e.state->steps == st->steps && e.base_order == base_order &&
+          e.state->fired == st->fired) {
+        return;  // lost a concurrent deposit race; the entries are identical
+      }
+    }
+    PreemptEntry e;
+    e.base_order = base_order;
+    e.state = std::move(st);
+    e.ckpt = std::move(c);
+    e.bytes = bytes;
+    e.tick = ++tick_;
+    preempt_.push_back(std::move(e));
+    prefix_bytes_ += bytes;
+    EvictLocked();
+  }
+  CkptMetrics::Get().stores->Increment();
+  CkptMetrics::Get().bytes_retained->Add(static_cast<int64_t>(bytes));
+}
+
+std::optional<TotalOrderHit> CheckpointStore::FindTotalOrderPrefix(
+    const TotalOrderSchedule& schedule) {
+  std::shared_ptr<const SimCheckpoint> best_ckpt;
+  std::shared_ptr<const TotalOrderPrefixState> best_state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TotalOrderEntry* best = nullptr;
+    size_t best_n = 0;
+    for (TotalOrderEntry& e : total_order_) {
+      const TotalOrderPrefixState& st = *e.state;
+      const size_t n = st.prefix.size();
+      if (n == 0 || n > schedule.sequence.size() || n <= best_n) {
+        continue;
+      }
+      // Cheap last-element pre-check before the full literal compare.
+      if (!(st.prefix[n - 1] == schedule.sequence[n - 1])) {
+        continue;
+      }
+      if (!std::equal(st.prefix.begin(), st.prefix.end(), schedule.sequence.begin())) {
+        continue;
+      }
+      if (st.irq_threads != schedule.irq_threads) {
+        continue;
+      }
+      best = &e;
+      best_n = n;
+    }
+    if (best == nullptr) {
+      return std::nullopt;
+    }
+    best->tick = ++tick_;
+    best_ckpt = best->ckpt;
+    best_state = best->state;
+  }
+  obs::Span span("ckpt", "ckpt.restore");
+  span.Arg("kind", "total_order")
+      .Arg("prefix", static_cast<int64_t>(best_state->prefix.size()));
+  TotalOrderHit hit;
+  hit.sim = best_ckpt->Restore();
+  if (hit.sim == nullptr) {
+    return std::nullopt;
+  }
+  hit.state = std::move(best_state);
+  CkptMetrics::Get().hits->Increment();
+  return hit;
+}
+
+void CheckpointStore::PutTotalOrderPrefix(const KernelSim& sim, TotalOrderPrefixState state) {
+  {
+    // Cheap pre-check before the expensive capture: backward flip tests share
+    // the original trace's prefix and re-offer the same deposits.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TotalOrderEntry& e : total_order_) {
+      if (e.state->prefix.size() == state.prefix.size() && e.state->prefix == state.prefix &&
+          e.state->irq_threads == state.irq_threads) {
+        return;  // identical prefix: deterministic duplicate
+      }
+    }
+  }
+  std::shared_ptr<const SimCheckpoint> c = SimCheckpoint::Capture(sim);
+  auto st = std::make_shared<const TotalOrderPrefixState>(std::move(state));
+  const size_t bytes = c->bytes() + BytesOf(*st);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TotalOrderEntry& e : total_order_) {
+      if (e.state->prefix.size() == st->prefix.size() &&
+          e.state->prefix == st->prefix && e.state->irq_threads == st->irq_threads) {
+        return;  // lost a concurrent deposit race; the entries are identical
+      }
+    }
+    TotalOrderEntry e;
+    e.state = std::move(st);
+    e.ckpt = std::move(c);
+    e.bytes = bytes;
+    e.tick = ++tick_;
+    total_order_.push_back(std::move(e));
+    prefix_bytes_ += bytes;
+    EvictLocked();
+  }
+  CkptMetrics::Get().stores->Increment();
+  CkptMetrics::Get().bytes_retained->Add(static_cast<int64_t>(bytes));
+}
+
+void AddStepAccounting(int64_t executed, int64_t replayed) {
+  if (executed > 0) {
+    CkptMetrics::Get().executed_steps->Add(executed);
+  }
+  if (replayed > 0) {
+    CkptMetrics::Get().replayed_steps->Add(replayed);
+  }
+}
+
+}  // namespace ckpt
+}  // namespace aitia

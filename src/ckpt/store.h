@@ -1,0 +1,175 @@
+// Checkpoint store: the prefix-replay cache behind O(suffix) re-execution
+// (DESIGN.md §12).
+//
+// LIFS executes thousands of sibling schedules that share long prefixes (the
+// frontier extends one preemption at a time), and Causality Analysis replays
+// the failing trace once per flip with only the flip window changed. The
+// store turns that structure into reuse:
+//
+//   - Baseline: the step-0, post-setup state — valid for *every* run in the
+//     store's scope, so slice setup executes once per diagnosis.
+//   - Preemption prefixes, keyed by (base order, fired-point sequence). A
+//     probing schedule may resume from one iff replaying its points over the
+//     prefix would have fired exactly the recorded sequence — checked by a
+//     mini-simulation over the candidate's points plus opportunity sets of
+//     every instruction the prefix ever exposed (no unfired point may have
+//     had a chance to fire). Conservative rejection is always safe.
+//   - Total-order prefixes, keyed by the literal sequence prefix plus the
+//     recording's IRQ contexts: the enforcer's state at first arrival of
+//     index i is a pure function of sequence[0..i), setup, and irq_threads.
+//
+// Scope contract: one store serves exactly one (image, initial threads,
+// setup) combination — LIFS and Causality Analysis of the *same* slice. Keys
+// do not include the slice, so sharing a store across slices would corrupt
+// results; the facade creates one store per slice.
+//
+// Thread safety: all methods are safe to call concurrently (parallel LIFS
+// frontier workers share one store). Restores run outside the store mutex.
+// Hit patterns under parallel execution depend on completion order, but every
+// restore is exact, so results stay bit-identical at any worker count.
+
+#ifndef SRC_CKPT_STORE_H_
+#define SRC_CKPT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/hv/schedule.h"
+#include "src/hv/watchpoint.h"
+#include "src/sim/kernel.h"
+#include "src/sim/types.h"
+
+namespace aitia {
+namespace ckpt {
+
+struct StoreOptions {
+  // Retained bytes across all prefix entries; least-recently-used entries
+  // are evicted past the budget. The baseline is pinned and not counted.
+  size_t byte_budget = 64ull << 20;
+  // Minimum executed steps between strided preemption-prefix deposits. The
+  // effective gap grows with run length (max(stride, steps/32)) so deposit
+  // cost stays linear in the run while granularity stays proportional.
+  // Small by default: corpus-scale runs retire tens of steps, and a stride
+  // past the run length would make strided deposits vanish entirely.
+  int64_t preempt_stride_steps = 8;
+  // Minimum sequence-index gap between total-order prefix deposits (same
+  // proportional growth). Backward flip tests restore progressively shorter
+  // prefixes, so granularity here directly bounds the re-executed suffix.
+  int64_t total_order_stride = 4;
+};
+
+// Mid-run enforcement state of Enforcer::RunPreemption at a deposit point —
+// everything outside the KernelSim that the resumed loop needs.
+struct PreemptPrefixState {
+  std::vector<PreemptPoint> fired;  // points fired so far, in firing order
+  std::vector<ThreadId> park_fifo;
+  ThreadId current = kNoThread;
+  int64_t steps = 0;
+  std::vector<Watchpoints::Armed> armed;
+  std::vector<WatchpointHit> hits;
+  // Opportunity sets, sorted: every DynInstr ever observed as the current
+  // thread's next instruction (pre) / ever retired (post) during the prefix.
+  // A schedule may reuse the prefix only if none of its unfired points had
+  // an opportunity to fire.
+  std::vector<DynInstr> pre_seen;
+  std::vector<DynInstr> post_seen;
+  // Livelock-watchdog (RunSupervision) state at the capture point.
+  int64_t last_progress = -1;
+  int64_t progress_step = 0;
+};
+
+// Mid-run state of Enforcer::RunTotalOrder at the first arrival of a
+// sequence index.
+struct TotalOrderPrefixState {
+  std::vector<DynInstr> prefix;  // sequence[0..i) — the literal key
+  std::map<ThreadId, std::pair<ProgramId, Word>> irq_threads;
+  std::vector<ThreadId> diverged;       // sorted
+  std::vector<ThreadId> injected_irqs;  // sorted
+  std::vector<DynInstr> disappeared;    // in discovery order
+  int64_t steps = 0;
+  int64_t deviations = 0;
+  int64_t last_progress = -1;
+  int64_t progress_step = 0;
+};
+
+struct PreemptHit {
+  std::unique_ptr<KernelSim> sim;
+  std::shared_ptr<const PreemptPrefixState> state;
+  // Consumed flags over the probing schedule's points: which of them the
+  // prefix already fired, matched in firing order.
+  std::vector<bool> consumed;
+};
+
+struct TotalOrderHit {
+  std::unique_ptr<KernelSim> sim;
+  std::shared_ptr<const TotalOrderPrefixState> state;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(StoreOptions options = {});
+  ~CheckpointStore();
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  // Restores a fresh post-setup sim (counts ckpt.hits) or returns nullptr
+  // (counts ckpt.misses). The enforcer calls this only after a prefix miss,
+  // so hits + misses equals enforcer runs.
+  std::unique_ptr<KernelSim> FindBaseline();
+  void PutBaseline(const KernelSim& sim);
+
+  // Longest valid prefix for `schedule`, if any (counts ckpt.hits on
+  // success; a miss here is counted by the FindBaseline fallback).
+  std::optional<PreemptHit> FindPreemptPrefix(const PreemptionSchedule& schedule);
+  void PutPreemptPrefix(const KernelSim& sim, const std::vector<ThreadId>& base_order,
+                        PreemptPrefixState state);
+
+  std::optional<TotalOrderHit> FindTotalOrderPrefix(const TotalOrderSchedule& schedule);
+  void PutTotalOrderPrefix(const KernelSim& sim, TotalOrderPrefixState state);
+
+  // Retained bytes (prefix entries + baseline).
+  size_t bytes_retained() const;
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  struct PreemptEntry {
+    std::vector<ThreadId> base_order;
+    std::shared_ptr<const PreemptPrefixState> state;
+    std::shared_ptr<const SimCheckpoint> ckpt;
+    size_t bytes = 0;
+    uint64_t tick = 0;
+  };
+  struct TotalOrderEntry {
+    std::shared_ptr<const TotalOrderPrefixState> state;
+    std::shared_ptr<const SimCheckpoint> ckpt;
+    size_t bytes = 0;
+    uint64_t tick = 0;
+  };
+
+  // Evicts LRU prefix entries until the budget holds. Caller holds mu_.
+  void EvictLocked();
+
+  const StoreOptions options_;
+  mutable std::mutex mu_;
+  uint64_t tick_ = 0;
+  std::shared_ptr<const SimCheckpoint> baseline_;
+  size_t baseline_bytes_ = 0;
+  std::vector<PreemptEntry> preempt_;
+  std::vector<TotalOrderEntry> total_order_;
+  size_t prefix_bytes_ = 0;
+};
+
+// Publishes the supervisor's per-run step split to the ckpt.executed_steps /
+// ckpt.replayed_steps counters (total steps stay in supervisor.steps).
+void AddStepAccounting(int64_t executed, int64_t replayed);
+
+}  // namespace ckpt
+}  // namespace aitia
+
+#endif  // SRC_CKPT_STORE_H_

@@ -53,6 +53,13 @@ struct AitiaOptions {
   // (see SupervisorOptions::cancel). The service layer points this at its
   // drain flag so in-flight diagnoses deadline-out instead of blocking exit.
   AitiaOptions& set_cancel(std::function<bool()> cancel);
+
+  // Toggles prefix-replay checkpointing (src/ckpt) for both stages. When on
+  // (the default), the facade creates one CheckpointStore per slice and
+  // shares it between that slice's LIFS search and its Causality Analysis;
+  // results are bit-identical either way (the CLI's --no-replay-cache flag
+  // lands here).
+  AitiaOptions& set_replay_cache(bool enabled);
 };
 
 struct AitiaReport {

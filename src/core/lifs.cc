@@ -50,9 +50,11 @@ struct LifsMetrics {
   }
 };
 
-SupervisorOptions LifsSupervisorOptions(const LifsOptions& options) {
+SupervisorOptions LifsSupervisorOptions(const LifsOptions& options,
+                                        ckpt::CheckpointStore* store) {
   SupervisorOptions so = options.supervisor;
   so.max_steps = options.max_steps_per_run;
+  so.checkpoints = store;
   return so;
 }
 
@@ -201,7 +203,15 @@ Lifs::Lifs(const KernelImage* image, std::vector<ThreadSpec> slice,
       slice_(std::move(slice)),
       setup_(std::move(setup)),
       options_(options),
-      supervisor_(image, LifsSupervisorOptions(options)) {}
+      owned_store_(options.checkpointing && options.checkpoint_store == nullptr
+                       ? std::make_unique<ckpt::CheckpointStore>()
+                       : nullptr),
+      supervisor_(image,
+                  LifsSupervisorOptions(
+                      options, options.checkpointing
+                                   ? (options.checkpoint_store != nullptr ? options.checkpoint_store
+                                                                          : owned_store_.get())
+                                   : nullptr)) {}
 
 bool Lifs::SearchCutShort() {
   if (!result_.status.ok()) {

@@ -30,11 +30,13 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/ckpt/store.h"
 #include "src/hv/enforcer.h"
 #include "src/hv/supervisor.h"
 #include "src/sim/hb.h"
@@ -76,6 +78,16 @@ struct LifsOptions {
   // (fewest-preemptions, front-to-back) order — the result is bit-identical
   // to the serial search for any worker count (see DESIGN.md §9).
   size_t workers = 1;
+  // Prefix-replay checkpointing (src/ckpt, DESIGN.md §12): sibling frontier
+  // schedules resume from shared prefixes instead of re-executing from step
+  // 0. Results are bit-identical at any worker count; only wall-clock and
+  // the executed/replayed step split change. Ignored while the supervisor's
+  // fault plan is enabled.
+  bool checkpointing = true;
+  // Store to use (not owned) — the facade passes a per-slice store shared
+  // with Causality Analysis; nullptr makes Lifs own a private one. The store
+  // is scoped to one (image, slice, setup): never share across slices.
+  ckpt::CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct ExploredSchedule {
@@ -182,6 +194,9 @@ class Lifs {
   std::vector<ThreadSpec> slice_;
   std::vector<ThreadSpec> setup_;
   LifsOptions options_;
+  // Private store when checkpointing is on and no external store was given;
+  // declared before supervisor_, whose options capture the raw pointer.
+  std::unique_ptr<ckpt::CheckpointStore> owned_store_;
   Supervisor supervisor_;
   Stopwatch search_watch_;
 

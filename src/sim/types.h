@@ -81,4 +81,14 @@ struct std::hash<aitia::InstrAddr> {
   }
 };
 
+template <>
+struct std::hash<aitia::DynInstr> {
+  size_t operator()(const aitia::DynInstr& d) const noexcept {
+    size_t h = std::hash<aitia::InstrAddr>()(d.at);
+    h ^= (static_cast<uint64_t>(static_cast<uint32_t>(d.tid)) << 17) +
+         static_cast<uint32_t>(d.occurrence) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
 #endif  // SRC_SIM_TYPES_H_

@@ -44,7 +44,7 @@ constexpr int kExitDegraded = 3;
 int Usage(FILE* to) {
   std::fprintf(to,
                "usage: aitia [--json] [--jobs N] [--trace FILE] [--metrics]\n"
-               "             [--log-level LEVEL] <trace.ait | scenario-id>\n"
+               "             [--no-replay-cache] [--log-level LEVEL] <trace.ait | scenario-id>\n"
                "       aitia --emit <scenario-id>   # print a corpus scenario as .ait\n"
                "       aitia --list                 # list corpus scenario ids\n"
                "\n"
@@ -54,6 +54,10 @@ int Usage(FILE* to) {
                "  --trace FILE      write a Chrome trace-event JSON flight record of\n"
                "                    the run (open in about:tracing or Perfetto)\n"
                "  --metrics         print the diagnosis metrics summary to stderr\n"
+               "  --no-replay-cache disable checkpoint/prefix-replay (src/ckpt): every\n"
+               "                    run re-executes from step 0. The diagnosis is\n"
+               "                    bit-identical either way; only wall-clock and the\n"
+               "                    ckpt.* metrics change\n"
                "  --log-level L     debug|info|warn|error|off (default: the\n"
                "                    AITIA_LOG_LEVEL env var, else info)\n"
                "\n"
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool emit = false;
   bool metrics = false;
+  bool replay_cache = true;
   bool jobs_set = false;
   size_t jobs = 1;
   std::string trace_path;
@@ -104,6 +109,8 @@ int main(int argc, char** argv) {
       emit = true;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--no-replay-cache") {
+      replay_cache = false;
     } else if (arg == "--trace") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "aitia: --trace needs a file path\n");
@@ -228,6 +235,7 @@ int main(int argc, char** argv) {
   if (jobs_set) {
     options.set_jobs(jobs);
   }
+  options.set_replay_cache(replay_cache);
   AitiaReport report = DiagnoseScenario(scenario, options);
 
   if (const Status st = write_trace(); !st.ok()) {

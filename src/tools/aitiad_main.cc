@@ -82,6 +82,8 @@ int Usage(FILE* to) {
                "  --drain-grace-ms N  drain wait before cancelling in-flight work (default 5000)\n"
                "  --retry-after-ms N  hint attached to overloaded rejections (default 50)\n"
                "  --metrics-json F    write the final metrics snapshot to F on exit\n"
+               "  --no-replay-cache   disable checkpoint/prefix-replay inside diagnoses\n"
+               "                      (results identical; see the ckpt.* metrics)\n"
                "  --chaos-seed S      fault-injection seed (enables nothing by itself)\n"
                "  --chaos-drop P      per-mille dropped preemption points\n"
                "  --chaos-wakeup P    per-mille spurious wakeups (per step)\n"
@@ -350,6 +352,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--retry-after-ms") {
       if (!parse_u64(need_value(i, "--retry-after-ms"), value)) return Usage(stderr);
       options.retry_after_ms = static_cast<int64_t>(value);
+    } else if (arg == "--no-replay-cache") {
+      options.replay_cache = false;
     } else if (arg == "--metrics-json") {
       const char* v = need_value(i, "--metrics-json");
       if (v == nullptr) return Usage(stderr);

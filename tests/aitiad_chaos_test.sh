@@ -45,8 +45,12 @@ while [ $i -lt 100 ]; do
 done
 [ -n "$PORT" ] || fail "daemon never printed its port"
 
+# Chaos bypasses the replay cache exactly like it bypasses the result cache
+# (a fault plan perturbs mid-run state, so prefix reuse would replay one
+# run's faults into another): ckpt.* must stay untouched.
 "$LOADGEN" --port "$PORT" --clients "$CLIENTS" --rounds "$ROUNDS" \
-    --expect-bounded-queue 16 --timeout 150 >"$WORK/loadgen.json"
+    --expect-bounded-queue 16 --expect-replay-cache unused \
+    --timeout 150 >"$WORK/loadgen.json"
 LSTATUS=$?
 cat "$WORK/loadgen.json"
 [ "$LSTATUS" -eq 0 ] || fail "loadgen contract check failed (exit $LSTATUS)"

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Replay-cache composition test for the aitiad daemon (DESIGN.md §12).
+#
+# Phase 1: plain daemon. Two rounds of the same scenarios mean round 2 is
+# absorbed by the scenario-fingerprint result cache while round 1's misses
+# ran the pipeline with the replay cache on — the loadgen asserts both
+# ckpt.hits and ckpt.replayed_steps are nonzero ("used"): the two caches
+# compose instead of shadowing each other.
+#
+# Phase 2: daemon started with --no-replay-cache. Same load; ckpt.* must
+# stay exactly zero ("unused") — the flag reaches every pipeline stage.
+#
+# Usage: aitiad_replay_test.sh <aitiad> <aitiad_loadgen> <workdir>
+set -u
+
+AITIAD=$1
+LOADGEN=$2
+WORK=$3
+mkdir -p "$WORK"
+
+fail() {
+    echo "FAIL: $1" >&2
+    [ -n "${DPID:-}" ] && kill -KILL "$DPID" 2>/dev/null
+    exit 1
+}
+
+# run_phase <tag> <expect> [extra daemon flags...]
+run_phase() {
+    TAG=$1
+    EXPECT=$2
+    shift 2
+    OUT="$WORK/daemon.$TAG.out"
+    rm -f "$OUT"
+
+    "$AITIAD" --port 0 --workers 2 "$@" >"$OUT" 2>"$WORK/daemon.$TAG.err" &
+    DPID=$!
+
+    PORT=""
+    i=0
+    while [ $i -lt 100 ]; do
+        PORT=$(sed -n 's/^aitiad: listening on 127.0.0.1:\([0-9]*\)$/\1/p' "$OUT")
+        [ -n "$PORT" ] && break
+        kill -0 "$DPID" 2>/dev/null || fail "$TAG: daemon died during startup"
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$PORT" ] || fail "$TAG: daemon never printed its port"
+
+    "$LOADGEN" --port "$PORT" --clients 2 --rounds 2 \
+        --scenarios fig-1,CVE-2017-15649 --expect-replay-cache "$EXPECT" \
+        --timeout 120 >"$WORK/loadgen.$TAG.json"
+    LSTATUS=$?
+    cat "$WORK/loadgen.$TAG.json"
+    [ "$LSTATUS" -eq 0 ] || fail "$TAG: loadgen contract check failed (exit $LSTATUS)"
+
+    kill -TERM "$DPID" 2>/dev/null
+    wait "$DPID"
+    DSTATUS=$?
+    DPID=""
+    [ "$DSTATUS" -eq 0 ] || fail "$TAG: daemon exited $DSTATUS after SIGTERM (want 0)"
+}
+
+run_phase replay-on used
+run_phase replay-off unused --no-replay-cache
+
+echo "PASS: replay cache composes with the result cache and honors the flag"
+exit 0

@@ -1,0 +1,94 @@
+// Unit tests for the checkpoint arena allocator (src/ckpt/arena.h): payload
+// round-trips, alignment, oversized payloads, and byte accounting.
+
+#include "src/ckpt/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace aitia {
+namespace ckpt {
+namespace {
+
+TEST(ArenaTest, CopiesScalarsAndRoundTrips) {
+  Arena arena;
+  const std::vector<int64_t> values = {1, -2, 3000000007, 0};
+  std::span<const int64_t> copied = arena.Copy(values);
+  ASSERT_EQ(copied.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(copied[i], values[i]);
+  }
+  // The copy is independent storage, not a view of the source vector.
+  EXPECT_NE(static_cast<const void*>(copied.data()),
+            static_cast<const void*>(values.data()));
+}
+
+TEST(ArenaTest, EmptyCopyYieldsEmptySpan) {
+  Arena arena;
+  std::span<const int32_t> empty = arena.Copy(std::vector<int32_t>{});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(arena.bytes(), 0u);
+}
+
+TEST(ArenaTest, AlignsEveryAllocation) {
+  Arena arena;
+  // Interleave 1-byte and 8-byte payloads: the 8-byte ones must come back
+  // with natural alignment regardless of what preceded them.
+  for (int i = 0; i < 100; ++i) {
+    std::span<const char> c = arena.Copy(std::vector<char>{static_cast<char>(i)});
+    ASSERT_EQ(c.size(), 1u);
+    std::span<const uint64_t> w =
+        arena.Copy(std::vector<uint64_t>{static_cast<uint64_t>(i) * 1000003});
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(w.data()) % alignof(uint64_t), 0u);
+    EXPECT_EQ(w[0], static_cast<uint64_t>(i) * 1000003);
+  }
+}
+
+TEST(ArenaTest, HandlesPayloadsLargerThanOneChunk) {
+  Arena arena;
+  // Larger than the 64 KiB internal chunk: must land in one contiguous span.
+  std::vector<uint64_t> big(20000);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = i * i + 7;
+  }
+  std::span<const uint64_t> copied = arena.Copy(big);
+  ASSERT_EQ(copied.size(), big.size());
+  EXPECT_EQ(copied[0], 7u);
+  EXPECT_EQ(copied[19999], big[19999]);
+  EXPECT_GE(arena.bytes(), big.size() * sizeof(uint64_t));
+}
+
+TEST(ArenaTest, EarlierSpansSurviveLaterGrowth) {
+  Arena arena;
+  std::vector<std::span<const int>> spans;
+  std::vector<std::vector<int>> sources;
+  for (int i = 0; i < 64; ++i) {
+    sources.emplace_back(512, i);
+  }
+  for (const auto& src : sources) {
+    spans.push_back(arena.Copy(src));
+  }
+  // Chunked storage must never relocate previously returned spans.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(spans[static_cast<size_t>(i)].size(), 512u);
+    EXPECT_EQ(spans[static_cast<size_t>(i)][0], i);
+    EXPECT_EQ(spans[static_cast<size_t>(i)][511], i);
+  }
+}
+
+TEST(ArenaTest, BytesGrowMonotonically) {
+  Arena arena;
+  size_t last = arena.bytes();
+  for (int i = 1; i <= 10; ++i) {
+    arena.Copy(std::vector<int64_t>(static_cast<size_t>(i) * 100, i));
+    EXPECT_GT(arena.bytes(), last);
+    last = arena.bytes();
+  }
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace aitia

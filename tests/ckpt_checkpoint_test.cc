@@ -1,0 +1,223 @@
+// Snapshot/restore correctness (src/ckpt/checkpoint.h): a KernelSim restored
+// from a mid-run checkpoint must continue bit-identically to the original —
+// same trace, same failure, same memory, same thread accounting — including
+// runs that exercise the heap, locks, intrinsic lists, and spawned work.
+
+#include "src/ckpt/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/sim/builder.h"
+#include "src/sim/kernel.h"
+
+namespace aitia {
+namespace {
+
+struct Scenario {
+  std::unique_ptr<KernelImage> image;
+  std::vector<ThreadSpec> slice;
+  std::vector<ThreadSpec> setup;
+  Addr ga = 0;
+  Addr gb = 0;
+};
+
+// Two threads over a lock-protected counter plus a list and a heap object:
+// enough machinery that a shallow snapshot (missing heap/list/lock state)
+// diverges immediately.
+Scenario MakeScenario() {
+  Scenario s;
+  s.image = std::make_unique<KernelImage>();
+  s.ga = s.image->AddGlobal("ga", 0);
+  s.gb = s.image->AddGlobal("gb", 1);
+  const Addr lock = s.image->AddGlobal("lock", 0);
+  const Addr head = s.image->AddGlobal("head", 0);
+
+  ProgramBuilder setup("setup");
+  setup.Lea(R1, s.ga).StoreImm(R1, 5).Exit();
+  const ProgramId setup_prog = s.image->AddProgram(setup.Build());
+
+  ProgramBuilder t0("t0");
+  t0.Lea(R1, lock)
+      .Lock(R1)
+      .Lea(R2, s.ga)
+      .Load(R3, R2)
+      .AddImm(R3, R3, 1)
+      .Store(R2, R3)
+      .Unlock(R1)
+      .Alloc(R4, 2)
+      .StoreImm(R4, 7)
+      .Lea(R5, head)
+      .ListAdd(R5, R4)
+      .Free(R4)
+      .Exit();
+  const ProgramId p0 = s.image->AddProgram(t0.Build());
+
+  ProgramBuilder t1("t1");
+  t1.Lea(R1, lock)
+      .Lock(R1)
+      .Lea(R2, s.ga)
+      .Load(R3, R2)
+      .Lea(R4, s.gb)
+      .Store(R4, R3)
+      .Unlock(R1)
+      .Lea(R5, head)
+      .ListLen(R6, R5)
+      .Exit();
+  const ProgramId p1 = s.image->AddProgram(t1.Build());
+
+  s.setup.push_back({"setup", setup_prog, 0, ThreadKind::kSyscall});
+  s.slice.push_back({"t0", p0, 0, ThreadKind::kSyscall});
+  s.slice.push_back({"t1", p1, 0, ThreadKind::kSyscall});
+  return s;
+}
+
+// Deterministic driver: always steps the lowest runnable thread, except that
+// every third retired step prefers the highest — interleaves the two threads
+// without any randomness.
+ThreadId PickNext(const KernelSim& sim, int64_t steps) {
+  std::vector<ThreadId> runnable = sim.RunnableThreads();
+  if (runnable.empty()) {
+    return -1;
+  }
+  return steps % 3 == 2 ? runnable.back() : runnable.front();
+}
+
+void ExpectEventsEqual(const ExecEvent& a, const ExecEvent& b, size_t index) {
+  EXPECT_EQ(a.seq, b.seq) << "event " << index;
+  EXPECT_EQ(a.di, b.di) << "event " << index;
+  EXPECT_EQ(a.is_access, b.is_access) << "event " << index;
+  EXPECT_EQ(a.is_write, b.is_write) << "event " << index;
+  EXPECT_EQ(a.addr, b.addr) << "event " << index;
+  EXPECT_EQ(a.len, b.len) << "event " << index;
+  EXPECT_EQ(a.value, b.value) << "event " << index;
+  EXPECT_EQ(a.locks_held, b.locks_held) << "event " << index;
+}
+
+void ExpectSimsEqual(const KernelSim& a, const KernelSim& b) {
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (size_t i = 0; i < a.trace().size(); ++i) {
+    ExpectEventsEqual(a.trace()[i], b.trace()[i], i);
+  }
+  EXPECT_EQ(a.failure().has_value(), b.failure().has_value());
+  if (a.failure().has_value() && b.failure().has_value()) {
+    EXPECT_EQ(a.failure()->type, b.failure()->type);
+    EXPECT_EQ(a.failure()->tid, b.failure()->tid);
+    EXPECT_EQ(a.failure()->seq, b.failure()->seq);
+  }
+  ASSERT_EQ(a.thread_count(), b.thread_count());
+  for (ThreadId tid = 0; tid < a.thread_count(); ++tid) {
+    const ThreadContext& ta = a.thread(tid);
+    const ThreadContext& tb = b.thread(tid);
+    EXPECT_EQ(ta.state, tb.state) << "thread " << tid;
+    EXPECT_EQ(ta.pc, tb.pc) << "thread " << tid;
+    EXPECT_EQ(ta.regs, tb.regs) << "thread " << tid;
+    EXPECT_EQ(ta.held_locks, tb.held_locks) << "thread " << tid;
+    EXPECT_EQ(ta.exec_counts, tb.exec_counts) << "thread " << tid;
+  }
+}
+
+TEST(CheckpointTest, MidRunRestoreContinuesBitIdentically) {
+  Scenario s = MakeScenario();
+  for (int64_t capture_at : {0, 1, 3, 7, 12}) {
+    SCOPED_TRACE(capture_at);
+    KernelSim original(s.image.get(), s.slice, s.setup);
+    int64_t steps = 0;
+    std::shared_ptr<const ckpt::SimCheckpoint> snap;
+    while (!original.Done()) {
+      if (steps == capture_at) {
+        snap = ckpt::SimCheckpoint::Capture(original);
+      }
+      const ThreadId tid = PickNext(original, steps);
+      if (tid < 0) {
+        break;
+      }
+      original.Step(tid);
+      ++steps;
+    }
+    ASSERT_NE(snap, nullptr) << "scenario shorter than capture point";
+    EXPECT_EQ(snap->version(), ckpt::kCheckpointVersion);
+    EXPECT_GT(snap->bytes(), 0u);
+
+    std::unique_ptr<KernelSim> restored = snap->Restore();
+    ASSERT_NE(restored, nullptr);
+    // CoW: the immutable image is shared, never copied.
+    EXPECT_EQ(&restored->image(), s.image.get());
+    int64_t replay_steps = capture_at;
+    while (!restored->Done()) {
+      const ThreadId tid = PickNext(*restored, replay_steps);
+      if (tid < 0) {
+        break;
+      }
+      restored->Step(tid);
+      ++replay_steps;
+    }
+    EXPECT_EQ(replay_steps, steps);
+    ExpectSimsEqual(original, *restored);
+    // Setup effects and memory must have carried across the snapshot.
+    EXPECT_EQ(original.memory().Peek(s.ga), restored->memory().Peek(s.ga));
+    EXPECT_EQ(original.memory().Peek(s.gb), restored->memory().Peek(s.gb));
+  }
+}
+
+TEST(CheckpointTest, RestoreIsRepeatable) {
+  Scenario s = MakeScenario();
+  KernelSim sim(s.image.get(), s.slice, s.setup);
+  for (int i = 0; i < 5; ++i) {
+    sim.Step(sim.RunnableThreads().front());
+  }
+  std::shared_ptr<const ckpt::SimCheckpoint> snap = ckpt::SimCheckpoint::Capture(sim);
+
+  // Two restores from one checkpoint continue identically: the checkpoint is
+  // immutable shared state, not a one-shot.
+  std::unique_ptr<KernelSim> a = snap->Restore();
+  std::unique_ptr<KernelSim> b = snap->Restore();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  int64_t steps = 5;
+  while (!a->Done()) {
+    const ThreadId tid = PickNext(*a, steps);
+    if (tid < 0) {
+      break;
+    }
+    a->Step(tid);
+    b->Step(tid);
+    ++steps;
+  }
+  ExpectSimsEqual(*a, *b);
+}
+
+TEST(CheckpointTest, CheckpointOutlivesTheCapturedSim) {
+  Scenario s = MakeScenario();
+  std::shared_ptr<const ckpt::SimCheckpoint> snap;
+  std::vector<ExecEvent> prefix;
+  {
+    KernelSim sim(s.image.get(), s.slice, s.setup);
+    for (int i = 0; i < 6; ++i) {
+      sim.Step(sim.RunnableThreads().front());
+    }
+    snap = ckpt::SimCheckpoint::Capture(sim);
+    prefix = sim.trace();
+  }  // the captured sim is gone; the checkpoint owns everything it needs
+
+  std::unique_ptr<KernelSim> restored = snap->Restore();
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->trace().size(), prefix.size());
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    ExpectEventsEqual(restored->trace()[i], prefix[i], i);
+  }
+  while (!restored->Done()) {
+    const ThreadId tid = PickNext(*restored, 0);
+    if (tid < 0) {
+      break;
+    }
+    restored->Step(tid);
+  }
+  EXPECT_FALSE(restored->failure().has_value());
+}
+
+}  // namespace
+}  // namespace aitia

@@ -1,0 +1,185 @@
+// Corpus-wide differential test for prefix-replay checkpointing (src/ckpt).
+//
+// The contract (DESIGN.md §12): checkpointing is a pure wall-clock
+// optimization. For every bundled scenario, the full diagnosis — explored
+// schedule counts, the failure-causing schedule, every data race, every flip
+// verdict, and the rendered causality chain — must be bit-identical across
+//
+//   replay cache {off, on} × workers {1, 4}
+//
+// including the full fuzz → modeling → LIFS → Causality Analysis pipeline.
+// Timing and step-accounting fields are the only permitted differences, and
+// even those must obey executed_steps + replayed_steps == steps. Finally,
+// replay must actually pay for itself: on at least one chain-heavy scenario
+// the serial diagnosis must execute >= 2x fewer simulator steps with the
+// cache on than off.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/core/chain.h"
+#include "src/fuzz/fuzzer.h"
+
+namespace aitia {
+namespace {
+
+AitiaOptions Config(bool replay, size_t jobs) {
+  AitiaOptions options;
+  options.set_jobs(jobs);
+  options.set_replay_cache(replay);
+  return options;
+}
+
+std::string ConfigName(bool replay, size_t jobs) {
+  std::ostringstream out;
+  out << "replay=" << (replay ? "on" : "off") << " jobs=" << jobs;
+  return out.str();
+}
+
+// Flattens everything the diagnosis *means* — and nothing about how long it
+// took. Budgets, seconds, and the executed/replayed split are excluded by
+// design: parallel batches overshoot and replay shifts work between the two
+// step counters, but every field below must match bit-for-bit.
+std::string ReportKey(const AitiaReport& r, const KernelImage& image) {
+  std::ostringstream out;
+  out << "diagnosed=" << r.diagnosed << " degraded=" << r.degraded
+      << " slices_tried=" << r.slices_tried << "\n";
+
+  const LifsResult& l = r.lifs;
+  out << "reproduced=" << l.reproduced << " k=" << l.interleaving_count
+      << " schedules_executed=" << l.schedules_executed
+      << " schedules_pruned=" << l.schedules_pruned << "\n"
+      << "schedule=" << l.failing_schedule.ToString() << "\n";
+  for (const RacePair& race : l.races.races) {
+    out << "race " << RaceLabel(image, race) << "\n";
+  }
+  for (const RacePair& race : l.phantom_races) {
+    out << "phantom " << RaceLabel(image, race) << "\n";
+  }
+
+  const CausalityResult& c = r.causality;
+  out << "flip_schedules=" << c.schedules_executed << " benign=" << c.benign_count
+      << " inconclusive=" << c.inconclusive_count << " ambiguous=" << c.ambiguous
+      << " ca_degraded=" << c.degraded << "\n";
+  for (const TestedRace& t : c.tested) {
+    out << "tested " << RaceLabel(image, t.race) << " phantom=" << t.phantom
+        << " verdict=" << RaceVerdictName(t.verdict)
+        << " still_failed=" << t.flip_still_failed << " took_effect=" << t.flip_took_effect
+        << " disappeared=";
+    for (size_t i : t.disappeared) {
+      out << i << ",";
+    }
+    out << " nested=";
+    for (size_t i : t.nested) {
+      out << i << ",";
+    }
+    out << "\n";
+  }
+  out << "roots=";
+  for (size_t i : c.root_cause_indices) {
+    out << i << ",";
+  }
+  out << "\nchain:\n" << c.chain.Render(image);
+  return out.str();
+}
+
+// The one thing budgets must satisfy in every configuration: the total stays
+// the cold-run equivalent, split exactly into executed and replayed.
+void ExpectStepSplit(const RunBudget& budget, bool replay, const char* stage) {
+  EXPECT_EQ(budget.executed_steps + budget.replayed_steps, budget.steps) << stage;
+  EXPECT_GE(budget.executed_steps, 0) << stage;
+  EXPECT_GE(budget.replayed_steps, 0) << stage;
+  if (!replay) {
+    EXPECT_EQ(budget.replayed_steps, 0) << stage << " (cache off must replay nothing)";
+  }
+}
+
+void ExpectReportInvariants(const AitiaReport& report, bool replay) {
+  ExpectStepSplit(report.lifs.budget, replay, "lifs");
+  ExpectStepSplit(report.causality.budget, replay, "causality");
+}
+
+struct ConfigPoint {
+  bool replay;
+  size_t jobs;
+};
+
+constexpr ConfigPoint kVariants[] = {{false, 4}, {true, 1}, {true, 4}};
+
+TEST(CkptDifferentialTest, CorpusBitIdenticalAcrossReplayAndWorkers) {
+  double best_ratio = 0;
+  std::string best_id;
+  for (const ScenarioEntry& entry : AllScenarios()) {
+    SCOPED_TRACE(entry.id);
+    BugScenario s = MakeScenario(entry.id);
+
+    AitiaReport reference = DiagnoseScenario(s, Config(/*replay=*/false, /*jobs=*/1));
+    ExpectReportInvariants(reference, /*replay=*/false);
+    const std::string want = ReportKey(reference, *s.image);
+
+    int64_t warm_executed = -1;
+    for (const ConfigPoint& v : kVariants) {
+      SCOPED_TRACE(ConfigName(v.replay, v.jobs));
+      AitiaReport got = DiagnoseScenario(s, Config(v.replay, v.jobs));
+      ExpectReportInvariants(got, v.replay);
+      EXPECT_EQ(ReportKey(got, *s.image), want);
+      if (v.replay && v.jobs == 1) {
+        warm_executed = got.lifs.budget.executed_steps + got.causality.budget.executed_steps;
+      }
+    }
+
+    // Serial cold vs serial warm: how much execution did the cache save?
+    const int64_t cold_executed =
+        reference.lifs.budget.executed_steps + reference.causality.budget.executed_steps;
+    if (warm_executed > 0 && cold_executed > 0) {
+      const double ratio =
+          static_cast<double>(cold_executed) / static_cast<double>(warm_executed);
+      std::printf("[ ckpt ] %-18s executed cold=%lld warm=%lld ratio=%.2fx\n", s.id.c_str(),
+                  static_cast<long long>(cold_executed), static_cast<long long>(warm_executed),
+                  ratio);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_id = s.id;
+      }
+    }
+  }
+  // The acceptance bar: at least one chain-heavy scenario re-executes >= 2x
+  // fewer steps with replay on. (Most exceed this; the max keeps the test
+  // robust to corpus members whose searches are too short to amortize.)
+  std::printf("[ ckpt ] best executed-steps drop: %.2fx (%s)\n", best_ratio, best_id.c_str());
+  EXPECT_GE(best_ratio, 2.0) << "replay cache saved too little execution corpus-wide";
+}
+
+TEST(CkptDifferentialTest, FuzzPipelineBitIdenticalAcrossReplayAndWorkers) {
+  // The full pipeline: the fuzzer finds the failure and emits an execution
+  // history; modeling slices it; LIFS + CA diagnose. Same contract as above,
+  // now spanning the slicer and the multi-slice reproducing stage.
+  for (const char* id : {"fig-1", "fig-5"}) {
+    SCOPED_TRACE(id);
+    BugScenario s = MakeScenario(id);
+    FuzzOutcome fuzz = FuzzUntilFailure(s.MakeWorkload());
+    ASSERT_TRUE(fuzz.found);
+
+    AitiaReport reference = DiagnoseHistory(*s.image, fuzz.history, Config(false, 1));
+    ExpectReportInvariants(reference, /*replay=*/false);
+    ASSERT_TRUE(reference.diagnosed);
+    const std::string want = ReportKey(reference, *s.image);
+
+    for (const ConfigPoint& v : kVariants) {
+      SCOPED_TRACE(ConfigName(v.replay, v.jobs));
+      AitiaReport got = DiagnoseHistory(*s.image, fuzz.history, Config(v.replay, v.jobs));
+      ExpectReportInvariants(got, v.replay);
+      EXPECT_EQ(ReportKey(got, *s.image), want);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aitia

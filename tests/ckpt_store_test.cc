@@ -1,0 +1,342 @@
+// Unit tests for the checkpoint store (src/ckpt/store.h): baseline caching,
+// preemption-prefix key/validity probing, total-order longest-prefix lookup,
+// LRU eviction under the byte budget, deposit dedup, thread safety, and the
+// ckpt.* metric semantics.
+
+#include "src/ckpt/store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/builder.h"
+#include "src/sim/kernel.h"
+
+namespace aitia {
+namespace ckpt {
+namespace {
+
+struct Scenario {
+  std::unique_ptr<KernelImage> image;
+  std::vector<ThreadSpec> slice;
+};
+
+Scenario MakeScenario() {
+  Scenario s;
+  s.image = std::make_unique<KernelImage>();
+  const Addr ga = s.image->AddGlobal("ga", 0);
+  for (int t = 0; t < 2; ++t) {
+    ProgramBuilder b(t == 0 ? "t0" : "t1");
+    b.Lea(R1, ga);
+    for (int i = 0; i < 8; ++i) {
+      b.Load(R2, R1).StoreImm(R1, static_cast<Word>(i));
+    }
+    b.Exit();
+    const ProgramId prog = s.image->AddProgram(b.Build());
+    s.slice.push_back({t == 0 ? "t0" : "t1", prog, 0, ThreadKind::kSyscall});
+  }
+  return s;
+}
+
+// Advances `sim` by `n` retired steps, lowest runnable thread first.
+void Advance(KernelSim& sim, int n) {
+  for (int i = 0; i < n && !sim.Done(); ++i) {
+    sim.Step(sim.RunnableThreads().front());
+  }
+}
+
+DynInstr Di(ThreadId tid, int32_t pc, int32_t occurrence = 0) {
+  DynInstr di;
+  di.tid = tid;
+  di.at.prog = 0;
+  di.at.pc = pc;
+  di.occurrence = occurrence;
+  return di;
+}
+
+int64_t CounterOf(const obs::MetricsSnapshot& delta, const std::string& name) {
+  auto it = delta.counters.find(name);
+  return it == delta.counters.end() ? 0 : it->second;
+}
+
+TEST(CheckpointStoreTest, BaselineRoundTripAndHitMissCounters) {
+  Scenario s = MakeScenario();
+  CheckpointStore store;
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(store.FindBaseline(), nullptr);  // miss
+
+  KernelSim sim(s.image.get(), s.slice);
+  store.PutBaseline(sim);
+  std::unique_ptr<KernelSim> restored = store.FindBaseline();  // hit
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->thread_count(), sim.thread_count());
+  EXPECT_TRUE(restored->trace().empty());
+
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().Delta(before);
+  EXPECT_EQ(CounterOf(delta, "ckpt.misses"), 1);
+  EXPECT_EQ(CounterOf(delta, "ckpt.hits"), 1);
+  EXPECT_GE(CounterOf(delta, "ckpt.stores"), 1);
+}
+
+TEST(CheckpointStoreTest, BaselineFirstDepositWins) {
+  Scenario s = MakeScenario();
+  CheckpointStore store;
+  KernelSim a(s.image.get(), s.slice);
+  store.PutBaseline(a);
+  const size_t bytes_after_first = store.bytes_retained();
+  KernelSim b(s.image.get(), s.slice);
+  Advance(b, 3);
+  store.PutBaseline(b);  // ignored: a baseline is already pinned
+  EXPECT_EQ(store.bytes_retained(), bytes_after_first);
+  std::unique_ptr<KernelSim> restored = store.FindBaseline();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(restored->trace().empty());
+}
+
+TEST(CheckpointStoreTest, PreemptPrefixKeyAndValidityProbe) {
+  Scenario s = MakeScenario();
+  CheckpointStore store;
+  const std::vector<ThreadId> base_order = {0, 1};
+
+  KernelSim sim(s.image.get(), s.slice);
+  Advance(sim, 6);
+  PreemptPrefixState st;
+  st.fired = {};  // no points fired during this prefix
+  st.current = 0;
+  st.steps = 6;
+  // The prefix exposed t0's first instructions (sorted opportunity sets).
+  st.pre_seen = {Di(0, 0), Di(0, 1), Di(0, 2)};
+  st.post_seen = st.pre_seen;
+  std::sort(st.pre_seen.begin(), st.pre_seen.end());
+  std::sort(st.post_seen.begin(), st.post_seen.end());
+  store.PutPreemptPrefix(sim, base_order, st);
+
+  // Same base order, one point that never had a chance to fire: valid hit,
+  // the point stays unconsumed.
+  PreemptionSchedule compatible;
+  compatible.base_order = base_order;
+  PreemptPoint far;
+  far.after = Di(1, 5);  // t1 never ran in the prefix
+  compatible.points = {far};
+  std::optional<PreemptHit> hit = store.FindPreemptPrefix(compatible);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit->sim, nullptr);
+  EXPECT_EQ(hit->state->steps, 6);
+  ASSERT_EQ(hit->consumed.size(), 1u);
+  EXPECT_FALSE(hit->consumed[0]);
+
+  // A point the prefix *did* expose (its instruction was seen) but never
+  // fired: resuming would skip the firing, so the probe must reject.
+  PreemptionSchedule incompatible = compatible;
+  incompatible.points[0].after = Di(0, 1);
+  EXPECT_FALSE(store.FindPreemptPrefix(incompatible).has_value());
+
+  // Different base order: different key, no hit.
+  PreemptionSchedule other_order = compatible;
+  other_order.base_order = {1, 0};
+  EXPECT_FALSE(store.FindPreemptPrefix(other_order).has_value());
+}
+
+TEST(CheckpointStoreTest, PreemptPrefixMatchesFiredSequenceInOrder) {
+  Scenario s = MakeScenario();
+  CheckpointStore store;
+  const std::vector<ThreadId> base_order = {0, 1};
+
+  PreemptPoint fired;
+  fired.after = Di(0, 2);
+  fired.switch_to = 1;
+
+  KernelSim sim(s.image.get(), s.slice);
+  Advance(sim, 5);
+  PreemptPrefixState st;
+  st.fired = {fired};
+  st.current = 1;
+  st.steps = 5;
+  st.pre_seen = {Di(0, 0), Di(0, 1), Di(0, 2)};
+  st.post_seen = st.pre_seen;
+  std::sort(st.pre_seen.begin(), st.pre_seen.end());
+  std::sort(st.post_seen.begin(), st.post_seen.end());
+  store.PutPreemptPrefix(sim, base_order, st);
+
+  // Probe containing the fired point (full equality) plus an unexposed one.
+  PreemptionSchedule schedule;
+  schedule.base_order = base_order;
+  PreemptPoint later;
+  later.after = Di(1, 7);
+  schedule.points = {fired, later};
+  std::optional<PreemptHit> hit = store.FindPreemptPrefix(schedule);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->consumed.size(), 2u);
+  EXPECT_TRUE(hit->consumed[0]);
+  EXPECT_FALSE(hit->consumed[1]);
+
+  // Same instruction, different switch target: not the same fired point —
+  // the prefix enforced a different switch, so the probe must reject.
+  PreemptionSchedule wrong_target = schedule;
+  wrong_target.points[0].switch_to = kNoThread;
+  EXPECT_FALSE(store.FindPreemptPrefix(wrong_target).has_value());
+}
+
+TEST(CheckpointStoreTest, TotalOrderLongestPrefixWins) {
+  Scenario s = MakeScenario();
+  CheckpointStore store;
+  const std::vector<DynInstr> seq = {Di(0, 0), Di(0, 1), Di(1, 0), Di(1, 1), Di(0, 2)};
+
+  KernelSim sim2(s.image.get(), s.slice);
+  Advance(sim2, 2);
+  TotalOrderPrefixState short_state;
+  short_state.prefix = {seq[0], seq[1]};
+  short_state.steps = 2;
+  store.PutTotalOrderPrefix(sim2, short_state);
+
+  KernelSim sim4(s.image.get(), s.slice);
+  Advance(sim4, 4);
+  TotalOrderPrefixState long_state;
+  long_state.prefix = {seq[0], seq[1], seq[2], seq[3]};
+  long_state.steps = 4;
+  store.PutTotalOrderPrefix(sim4, long_state);
+
+  TotalOrderSchedule schedule;
+  schedule.sequence = seq;
+  std::optional<TotalOrderHit> hit = store.FindTotalOrderPrefix(schedule);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->state->prefix.size(), 4u);
+
+  // A sequence that diverges at index 2 can only reuse the length-2 prefix.
+  TotalOrderSchedule diverging;
+  diverging.sequence = {seq[0], seq[1], Di(1, 9), seq[3]};
+  hit = store.FindTotalOrderPrefix(diverging);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->state->prefix.size(), 2u);
+
+  // Different IRQ contexts: the replayed thread-id mapping would differ.
+  TotalOrderSchedule with_irq = schedule;
+  with_irq.irq_threads[7] = {1, 42};
+  EXPECT_FALSE(store.FindTotalOrderPrefix(with_irq).has_value());
+}
+
+TEST(CheckpointStoreTest, LruEvictionKeepsBudgetAndTouchedEntries) {
+  Scenario s = MakeScenario();
+  StoreOptions options;
+  options.byte_budget = 1;  // every deposit overflows: only the newest survives
+  CheckpointStore store(options);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (int i = 1; i <= 4; ++i) {
+    KernelSim sim(s.image.get(), s.slice);
+    Advance(sim, i);
+    TotalOrderPrefixState st;
+    for (int j = 0; j < i; ++j) {
+      st.prefix.push_back(Di(0, j));
+    }
+    st.steps = i;
+    store.PutTotalOrderPrefix(sim, st);
+  }
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().Delta(before);
+  EXPECT_GE(CounterOf(delta, "ckpt.evictions"), 3);
+
+  // Only the most recent deposit can remain within a 1-byte budget.
+  TotalOrderSchedule probe;
+  for (int j = 0; j < 4; ++j) {
+    probe.sequence.push_back(Di(0, j));
+  }
+  std::optional<TotalOrderHit> hit = store.FindTotalOrderPrefix(probe);
+  if (hit.has_value()) {
+    EXPECT_EQ(hit->state->prefix.size(), 4u);
+  }
+}
+
+TEST(CheckpointStoreTest, DuplicateDepositsAreDeduped) {
+  Scenario s = MakeScenario();
+  CheckpointStore store;
+  KernelSim sim(s.image.get(), s.slice);
+  Advance(sim, 3);
+  TotalOrderPrefixState st;
+  st.prefix = {Di(0, 0), Di(0, 1), Di(0, 2)};
+  st.steps = 3;
+  store.PutTotalOrderPrefix(sim, st);
+  const size_t bytes_after_first = store.bytes_retained();
+  store.PutTotalOrderPrefix(sim, st);
+  EXPECT_EQ(store.bytes_retained(), bytes_after_first);
+}
+
+TEST(CheckpointStoreTest, BytesRetainedTracksGaugeAndDestructorDrains) {
+  Scenario s = MakeScenario();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  const int64_t gauge_before =
+      before.gauges.count("ckpt.bytes_retained") != 0
+          ? before.gauges.at("ckpt.bytes_retained")
+          : 0;
+  {
+    CheckpointStore store;
+    KernelSim sim(s.image.get(), s.slice);
+    store.PutBaseline(sim);
+    Advance(sim, 2);
+    TotalOrderPrefixState st;
+    st.prefix = {Di(0, 0), Di(0, 1)};
+    st.steps = 2;
+    store.PutTotalOrderPrefix(sim, st);
+    EXPECT_GT(store.bytes_retained(), 0u);
+  }
+  // The store's destructor returns every retained byte to the gauge.
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  const int64_t gauge_after = after.gauges.count("ckpt.bytes_retained") != 0
+                                  ? after.gauges.at("ckpt.bytes_retained")
+                                  : 0;
+  EXPECT_EQ(gauge_after, gauge_before);
+}
+
+TEST(CheckpointStoreTest, ConcurrentAccessIsSafe) {
+  Scenario s = MakeScenario();
+  CheckpointStore store;
+  {
+    KernelSim sim(s.image.get(), s.slice);
+    store.PutBaseline(sim);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, &s, t] {
+      for (int i = 0; i < 25; ++i) {
+        KernelSim sim(s.image.get(), s.slice);
+        Advance(sim, 1 + (t + i) % 5);
+        TotalOrderPrefixState st;
+        for (int j = 0; j <= (t + i) % 5; ++j) {
+          st.prefix.push_back(Di(0, j));
+        }
+        st.steps = static_cast<int64_t>(st.prefix.size());
+        store.PutTotalOrderPrefix(sim, st);
+        TotalOrderSchedule probe;
+        probe.sequence = st.prefix;
+        (void)store.FindTotalOrderPrefix(probe);
+        (void)store.FindBaseline();
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  std::unique_ptr<KernelSim> baseline = store.FindBaseline();
+  EXPECT_NE(baseline, nullptr);
+}
+
+TEST(CheckpointStoreTest, StepAccountingCounters) {
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  AddStepAccounting(10, 4);
+  AddStepAccounting(0, 0);  // zero deltas must not register
+  const obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().Delta(before);
+  EXPECT_EQ(CounterOf(delta, "ckpt.executed_steps"), 10);
+  EXPECT_EQ(CounterOf(delta, "ckpt.replayed_steps"), 4);
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace aitia
