@@ -1,18 +1,20 @@
-// Parallel LIFS frontier exploration — worker-count × replay-cache sweep
-// (DESIGN.md §9, §12).
+// Parallel LIFS frontier exploration — worker-count × replay-cache ×
+// triage-pre-filter sweep (DESIGN.md §9, §12, §13).
 //
 // Runs LIFS on the multi-interleaving corpus scenarios at several worker
-// counts with checkpoint/prefix-replay off and on, verifies that every cell
-// is identical to the serial replay-off one (the §9/§12 determinism
-// contract), and writes the sweep to BENCH_parallel_lifs.json:
+// counts with checkpoint/prefix-replay off and on, follows each with a
+// Causality Analysis pass with the static triage pre-filter off and on,
+// verifies that every cell is identical to the serial replay-off
+// prefilter-off one (the §9/§12/§13 determinism contract), and writes the
+// sweep to BENCH_parallel_lifs.json:
 //
 //   $ bench_parallel_lifs                              # defaults below
 //   $ bench_parallel_lifs --workers=1,2,4 --repeat=9 \
 //         --scenarios=CVE-2017-15649,syz-02 --out=sweep.json
 //   $ bench_parallel_lifs --baseline=old_sweep.json    # regression check
 //
-// Per (scenario, workers, replay) cell the minimum wall time over --repeat
-// runs is reported (minimum, not mean: scheduling noise only ever adds
+// Per (scenario, workers, replay, prefilter) cell the minimum wall time over
+// --repeat runs is reported (minimum, not mean: scheduling noise only ever adds
 // time), together with the executed/replayed step split from the run budget.
 // Speedups are relative to the measured workers=1 replay-off cell of the
 // same binary; hardware_concurrency is recorded so single-CPU CI hosts are
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "src/bugs/registry.h"
+#include "src/core/causality.h"
 #include "src/core/lifs.h"
 #include "src/obs/metrics.h"
 #include "src/svc/jsonv.h"
@@ -68,10 +71,32 @@ std::string ResultKey(const LifsResult& r) {
                    r.failing_schedule.ToString().c_str());
 }
 
+// Causality-side identity: the verdict sequence and root-cause set must be
+// bit-equal in every cell, whatever the pre-filter skipped.
+std::string CaKey(const CausalityResult& r) {
+  std::string key = "verdicts=";
+  for (const TestedRace& t : r.tested) {
+    key += RaceVerdictName(t.verdict);
+    key += ";";
+  }
+  key += " roots=";
+  for (size_t i : r.root_cause_indices) {
+    key += StrFormat("%zu,", i);
+  }
+  return key;
+}
+
 struct Cell {
   size_t workers = 0;
   bool replay = false;
+  bool prefilter = false;
   double seconds = 0;
+  // Causality Analysis pass over the same failing run: wall time and the
+  // dynamic-vs-static flip split (flips_skipped is 0 with the pre-filter
+  // off; with it on, every skip is a supervised re-execution not paid).
+  double ca_seconds = 0;
+  int64_t flips_executed = 0;
+  int64_t flips_skipped = 0;
   // Per-phase split of the best rep's wall time (LifsResult's breakdown of
   // the discovery passes vs the depth-k frontier passes).
   double discovery_seconds = 0;
@@ -94,6 +119,7 @@ struct Cell {
 struct BaselineCell {
   size_t workers = 0;
   bool replay = false;
+  bool prefilter = false;
   double seconds = 0;
 };
 
@@ -141,9 +167,13 @@ bool LoadBaseline(const std::string& path,
           cell.workers = static_cast<size_t>(w->AsInt());
         }
         // Pre-replay baselines have no "replay" field; treat them as the
-        // replay-off cells they were.
+        // replay-off cells they were. Same for pre-prefilter baselines and
+        // "prefilter".
         if (const svc::JsonValue* r = c.Find("replay"); r != nullptr) {
           cell.replay = r->AsBool();
+        }
+        if (const svc::JsonValue* pf = c.Find("prefilter"); pf != nullptr) {
+          cell.prefilter = pf->AsBool();
         }
         if (const svc::JsonValue* sec = c.Find("seconds"); sec != nullptr) {
           cell.seconds = sec->AsDouble();
@@ -203,6 +233,9 @@ int main(int argc, char** argv) {
         scenario_ids.push_back(e.id);
       }
     }
+    // Plus the scenario with statically dischargeable flips, so the sweep
+    // exercises the prefilter dimension's skip accounting end to end.
+    scenario_ids.push_back("syz-09");
   }
 
   std::vector<std::pair<std::string, BaselineScenario>> baseline;
@@ -235,56 +268,80 @@ int main(int argc, char** argv) {
     double serial_seconds = 0;
     for (size_t w : workers) {
       for (const bool replay : {false, true}) {
-        Cell cell;
-        cell.workers = w;
-        cell.replay = replay;
-        cell.seconds = -1;
-        for (int rep = 0; rep < repeat; ++rep) {
-          LifsOptions options;
-          options.target_type = s.truth.failure_type;
-          options.workers = w;
-          options.checkpointing = replay;
-          Lifs lifs(s.image.get(), s.slice, s.setup, options);
-          const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
-          Stopwatch watch;
-          LifsResult r = lifs.Run();
-          const double elapsed = watch.ElapsedSeconds();
-          if (cell.seconds < 0 || elapsed < cell.seconds) {
-            cell.seconds = elapsed;
-            cell.discovery_seconds = r.discovery_seconds;
-            cell.depth_seconds = r.depth_seconds;
-            cell.executed_steps = r.budget.executed_steps;
-            cell.replayed_steps = r.budget.replayed_steps;
-            const obs::MetricsSnapshot delta =
-                obs::MetricsRegistry::Global().Snapshot().Delta(before);
-            cell.ckpt_hits = delta.counter("ckpt.hits");
-            cell.ckpt_misses = delta.counter("ckpt.misses");
-            cell.ckpt_stores = delta.counter("ckpt.stores");
-            cell.ckpt_evictions = delta.counter("ckpt.evictions");
+        for (const bool prefilter : {false, true}) {
+          Cell cell;
+          cell.workers = w;
+          cell.replay = replay;
+          cell.prefilter = prefilter;
+          cell.seconds = -1;
+          cell.ca_seconds = -1;
+          for (int rep = 0; rep < repeat; ++rep) {
+            LifsOptions options;
+            options.target_type = s.truth.failure_type;
+            options.workers = w;
+            options.checkpointing = replay;
+            Lifs lifs(s.image.get(), s.slice, s.setup, options);
+            const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+            Stopwatch watch;
+            LifsResult r = lifs.Run();
+            const double elapsed = watch.ElapsedSeconds();
+            if (cell.seconds < 0 || elapsed < cell.seconds) {
+              cell.seconds = elapsed;
+              cell.discovery_seconds = r.discovery_seconds;
+              cell.depth_seconds = r.depth_seconds;
+              cell.executed_steps = r.budget.executed_steps;
+              cell.replayed_steps = r.budget.replayed_steps;
+              const obs::MetricsSnapshot delta =
+                  obs::MetricsRegistry::Global().Snapshot().Delta(before);
+              cell.ckpt_hits = delta.counter("ckpt.hits");
+              cell.ckpt_misses = delta.counter("ckpt.misses");
+              cell.ckpt_stores = delta.counter("ckpt.stores");
+              cell.ckpt_evictions = delta.counter("ckpt.evictions");
+            }
+            cell.schedules = r.schedules_executed;
+            cell.speculative = r.speculative_runs;
+
+            CausalityOptions co;
+            co.workers = w;
+            co.checkpointing = replay;
+            if (!prefilter) {
+              co.stages.clear();
+            }
+            CausalityAnalysis ca(s.image.get(), s.slice, s.setup, &r, co);
+            Stopwatch ca_watch;
+            CausalityResult cr = ca.Run();
+            const double ca_elapsed = ca_watch.ElapsedSeconds();
+            if (cell.ca_seconds < 0 || ca_elapsed < cell.ca_seconds) {
+              cell.ca_seconds = ca_elapsed;
+            }
+            cell.flips_executed = cr.schedules_executed;
+            cell.flips_skipped = cr.flips_skipped;
+
+            const std::string key = ResultKey(r) + " " + CaKey(cr);
+            if (w == workers.front() && !replay && !prefilter && rep == 0) {
+              serial_key = key;
+            }
+            cell.identical = key == serial_key;
+            all_identical = all_identical && cell.identical;
           }
-          cell.schedules = r.schedules_executed;
-          cell.speculative = r.speculative_runs;
-          const std::string key = ResultKey(r);
-          if (w == workers.front() && !replay && rep == 0) {
-            serial_key = key;
+          if (w == workers.front() && !replay && !prefilter) {
+            serial_seconds = cell.seconds;
           }
-          cell.identical = key == serial_key;
-          all_identical = all_identical && cell.identical;
+          cells.push_back(cell);
         }
-        if (w == workers.front() && !replay) {
-          serial_seconds = cell.seconds;
-        }
-        cells.push_back(cell);
       }
     }
 
     std::printf("%-18s\n", id.c_str());
     for (const Cell& c : cells) {
-      std::printf("  w=%zu replay=%-3s %8.3fms (x%.2f)  executed=%lld replayed=%lld%s\n",
-                  c.workers, c.replay ? "on" : "off", c.seconds * 1e3,
-                  c.seconds > 0 ? serial_seconds / c.seconds : 0.0,
+      std::printf("  w=%zu replay=%-3s prefilter=%-3s %8.3fms (x%.2f)  "
+                  "executed=%lld replayed=%lld flips=%lld skipped=%lld%s\n",
+                  c.workers, c.replay ? "on" : "off", c.prefilter ? "on" : "off",
+                  c.seconds * 1e3, c.seconds > 0 ? serial_seconds / c.seconds : 0.0,
                   static_cast<long long>(c.executed_steps),
-                  static_cast<long long>(c.replayed_steps), c.identical ? "" : "  DIFF!");
+                  static_cast<long long>(c.replayed_steps),
+                  static_cast<long long>(c.flips_executed),
+                  static_cast<long long>(c.flips_skipped), c.identical ? "" : "  DIFF!");
     }
 
     // Regression check against the archived sweep: bit-equal schedule counts
@@ -303,7 +360,8 @@ int main(int argc, char** argv) {
       }
       for (const BaselineCell& bc : bs.cells) {
         for (const Cell& c : cells) {
-          if (c.workers == bc.workers && c.replay == bc.replay && bc.seconds > 0 &&
+          if (c.workers == bc.workers && c.replay == bc.replay &&
+              c.prefilter == bc.prefilter && bc.seconds > 0 &&
               c.seconds > bc.seconds * 1.2) {
             std::fprintf(stderr,
                          "bench_parallel_lifs: DRIFT %s w=%zu replay=%s %.3fms -> %.3fms "
@@ -320,15 +378,19 @@ int main(int argc, char** argv) {
                       static_cast<long long>(cells.front().schedules));
     for (size_t ci = 0; ci < cells.size(); ++ci) {
       const Cell& c = cells[ci];
-      json += StrFormat("%s{\"workers\": %zu, \"replay\": %s, \"seconds\": %.6f, "
+      json += StrFormat("%s{\"workers\": %zu, \"replay\": %s, \"prefilter\": %s, "
+                        "\"seconds\": %.6f, "
                         "\"speedup\": %.3f, "
                         "\"phases\": {\"discovery_seconds\": %.6f, \"depth_seconds\": %.6f}, "
                         "\"speculative_runs\": %lld, "
                         "\"executed_steps\": %lld, \"replayed_steps\": %lld, "
                         "\"ckpt\": {\"hits\": %lld, \"misses\": %lld, \"stores\": %lld, "
                         "\"evictions\": %lld}, "
+                        "\"ca_seconds\": %.6f, "
+                        "\"flips\": {\"executed\": %lld, \"skipped\": %lld}, "
                         "\"identical_to_serial\": %s}",
-                        ci == 0 ? "" : ", ", c.workers, c.replay ? "true" : "false", c.seconds,
+                        ci == 0 ? "" : ", ", c.workers, c.replay ? "true" : "false",
+                        c.prefilter ? "true" : "false", c.seconds,
                         c.seconds > 0 ? serial_seconds / c.seconds : 0.0,
                         c.discovery_seconds, c.depth_seconds,
                         static_cast<long long>(c.speculative),
@@ -337,6 +399,9 @@ int main(int argc, char** argv) {
                         static_cast<long long>(c.ckpt_hits), static_cast<long long>(c.ckpt_misses),
                         static_cast<long long>(c.ckpt_stores),
                         static_cast<long long>(c.ckpt_evictions),
+                        c.ca_seconds,
+                        static_cast<long long>(c.flips_executed),
+                        static_cast<long long>(c.flips_skipped),
                         c.identical ? "true" : "false");
     }
     json += StrFormat("]}%s\n", si + 1 == scenario_ids.size() ? "" : ",");

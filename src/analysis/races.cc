@@ -1,4 +1,4 @@
-#include "src/sim/hb.h"
+#include "src/analysis/races.h"
 
 #include <algorithm>
 #include <map>

@@ -1,0 +1,574 @@
+#include "src/analysis/triage.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace analysis {
+namespace {
+
+TriageDecision Decide(TriageVerdict verdict, std::string reason) {
+  TriageDecision d;
+  d.verdict = verdict;
+  d.reason = std::move(reason);
+  return d;
+}
+
+// Register uses of one instruction. `known` false means the op is not
+// modeled — liveness analysis must then assume everything is read.
+struct RegUse {
+  uint8_t reads[3] = {0, 0, 0};
+  int nreads = 0;
+  int writes = -1;  // destination register, -1 when none
+  bool known = false;
+};
+
+RegUse UsesOf(const Instr& in) {
+  RegUse u;
+  u.known = true;
+  auto r = [&](uint8_t reg) { u.reads[u.nreads++] = reg; };
+  switch (in.op) {
+    case Op::kNop:
+    case Op::kResched:
+    case Op::kTlbFlush:
+    case Op::kJmp:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kExit:
+      break;
+    case Op::kMovImm:
+    case Op::kLea:
+    case Op::kAlloc:
+      u.writes = in.rd;
+      break;
+    case Op::kMov:
+    case Op::kAddImm:
+    case Op::kLoad:
+      r(in.rs);
+      u.writes = in.rd;
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+      r(in.rs);
+      r(in.rt);
+      u.writes = in.rd;
+      break;
+    case Op::kStore:
+      r(in.rd);
+      r(in.rs);
+      break;
+    case Op::kStoreImm:
+      r(in.rd);
+      break;
+    case Op::kBeqz:
+    case Op::kBnez:
+    case Op::kFree:
+    case Op::kLock:
+    case Op::kUnlock:
+    case Op::kAssert:
+    case Op::kQueueWork:
+    case Op::kCallRcu:
+    case Op::kRefGet:
+      r(in.rs);
+      break;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kListAdd:
+      r(in.rs);
+      r(in.rt);
+      break;
+    case Op::kListDel:
+    case Op::kListContains:
+      r(in.rs);
+      r(in.rt);
+      u.writes = in.rd;
+      break;
+    case Op::kListPop:
+    case Op::kListLen:
+    case Op::kRefPut:
+      r(in.rs);
+      u.writes = in.rd;
+      break;
+    default:
+      u.known = false;
+      break;
+  }
+  return u;
+}
+
+// True when the destination register loaded by `load_ev` is provably dead on
+// the recorded remainder of its thread: every later retired instruction of
+// the thread either clobbers the register first or never reads it. The trace
+// is complete per thread (one event per retired instruction) and, under the
+// flip's commutation preconditions, the flipped run retires exactly the same
+// per-thread instruction streams — so deadness on the recorded path is
+// deadness in the flipped run.
+bool DestRegisterDead(const TriageContext& ctx, const ExecEvent& load_ev) {
+  const Instr& load = ctx.image()
+                          .program(load_ev.di.at.prog)
+                          .At(load_ev.di.at.pc);
+  if (load.op != Op::kLoad) {
+    return false;
+  }
+  const uint8_t rd = load.rd;
+  for (const ExecEvent& e : ctx.run().trace) {
+    if (e.di.tid != load_ev.di.tid || e.seq <= load_ev.seq) {
+      continue;
+    }
+    const RegUse u = UsesOf(ctx.image().program(e.di.at.prog).At(e.di.at.pc));
+    if (!u.known) {
+      return false;
+    }
+    for (int i = 0; i < u.nreads; ++i) {
+      if (u.reads[i] == rd) {
+        return false;
+      }
+    }
+    if (u.writes == rd) {
+      return true;  // clobbered before any read
+    }
+  }
+  return true;  // never touched again
+}
+
+bool Overlaps(const ExecEvent& e, Addr addr, Addr len) {
+  return e.addr < addr + len && addr < e.addr + e.len;
+}
+
+// Trace-proven content of the cell range [addr, addr+len) just before trace
+// position `seq`. Only in-trace evidence counts: the nearest earlier
+// overlapping access pins the value when it is an exact-range plain store
+// (the value it wrote) or an exact-range plain load (the value it observed).
+// Anything else — a partial access, a compound read-modify op, or no earlier
+// access at all — is nullopt. In particular a global's static initializer is
+// NOT evidence: the base slice runs before the trace begins and can rewrite
+// any cell without leaving an event (CVE-2017-2671's prot_hook looks
+// zero-initialized but holds a live pointer by the time the trace starts).
+std::optional<Word> ValueBefore(const TriageContext& ctx, Addr addr, Addr len,
+                                int64_t seq) {
+  const auto& trace = ctx.run().trace;
+  for (int64_t s = std::min<int64_t>(seq, ctx.last_seq() + 1) - 1; s >= 0; --s) {
+    const ExecEvent& e = trace[static_cast<size_t>(s)];
+    if (!e.is_access || !Overlaps(e, addr, len)) {
+      continue;
+    }
+    const bool exact = e.addr == addr && e.len == len;
+    if (exact && (e.op == Op::kStore || e.op == Op::kStoreImm)) {
+      return e.value;
+    }
+    if (exact && e.op == Op::kLoad && !e.is_write) {
+      return e.value;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// True when some access after trace position `seq` can observe the content
+// of [addr, addr+len). A full-cover plain store ends the scan: it rewrites
+// the range without reading it, so earlier writers are unobservable past it.
+bool CellObservedAfter(const TriageContext& ctx, Addr addr, Addr len, int64_t seq) {
+  const auto& trace = ctx.run().trace;
+  for (int64_t s = seq + 1; s <= ctx.last_seq(); ++s) {
+    const ExecEvent& e = trace[static_cast<size_t>(s)];
+    if (!e.is_access || !Overlaps(e, addr, len)) {
+      continue;
+    }
+    if ((e.op == Op::kStore || e.op == Op::kStoreImm) && e.addr == addr && e.len == len) {
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string LockName(const TriageContext& ctx, Addr lock) {
+  std::string name = ctx.image().GlobalName(lock);
+  return name.empty() ? StrFormat("lock@0x%llx", static_cast<unsigned long long>(lock))
+                      : name;
+}
+
+// --- hb stage: vector clocks + flip-commutation analysis ------------------
+//
+// For an executed non-critical-section pair (a, b), BuildFlip moves thread
+// a's events in [a.seq, b.seq] (the block) to right after b. The stage
+// proves the flipped run observation-equivalent to the failing run — same
+// per-thread instruction streams, same values, same failure — whenever:
+//   1. the block carries no cross-thread ordering side effects (no lock,
+//      spawn, allocator, or IPI ops), and none sit elsewhere in the window
+//      that would synchronize with it (TLB shootdowns);
+//   2. no block event conflicts with a window event besides (a, b) itself;
+//   3. the pair's own value flow is inert: a silent store (both sides write
+//      the same value to the same cell) or a dead read (the loaded register
+//      is never consumed on the recorded path).
+// Under 1–2 every lock/spawn retirement keeps its original relative order,
+// so the enforcer replays the permutation without deviations; under 3 the
+// one reordered value is unobservable. The run retires the same event set,
+// the recorded failure recurs at the same final event, and the dynamic
+// verdict is exactly kBenign with flip_took_effect = true.
+class HbStage : public TriageStage {
+ public:
+  const char* name() const override { return "hb"; }
+
+  TriageDecision Classify(const TriageContext& ctx,
+                          const TriageCandidate& c) const override {
+    const RacePair& r = c.race;
+    if (c.phantom) {
+      return Decide(TriageVerdict::kUnknown,
+                    "phantom pair: no happens-before edge toward an unexecuted "
+                    "instruction exists in the failing trace");
+    }
+    if (r.cs_pair) {
+      return Decide(TriageVerdict::kUnknown, "critical-section pair: lockset stage decides");
+    }
+    const auto& trace = ctx.run().trace;
+    if (r.first.seq < 0 || r.second.seq <= r.first.seq ||
+        r.second.seq > ctx.last_seq()) {
+      return Decide(TriageVerdict::kUnknown, "pair seqs do not index the failing trace");
+    }
+    if (ctx.hb().HappensBefore(r.first.seq, r.second.seq)) {
+      // Race extraction filters ordered pairs, so this cannot fire for LIFS
+      // candidates; if a caller hands one in anyway, stay conservative.
+      return Decide(TriageVerdict::kUnknown,
+                    "sides are happens-before ordered; left to the dynamic flip");
+    }
+    if (r.second.seq >= ctx.last_seq()) {
+      return Decide(TriageVerdict::kUnknown,
+                    "second side is the trace's final event: the moved block "
+                    "would land after the failure fires");
+    }
+    if (ctx.IsIrqContext(r.first.di.tid)) {
+      return Decide(TriageVerdict::kUnknown,
+                    "first side runs in IRQ context: its injection point is "
+                    "schedule-dependent");
+    }
+
+    // Partition the reorder window into the moved block (thread of `a`) and
+    // the events it slides past.
+    std::vector<const ExecEvent*> block;
+    std::vector<const ExecEvent*> window;
+    for (int64_t s = r.first.seq; s <= r.second.seq; ++s) {
+      const ExecEvent& e = trace[static_cast<size_t>(s)];
+      (e.di.tid == r.first.di.tid ? block : window).push_back(&e);
+    }
+    for (const ExecEvent* x : block) {
+      switch (x->op) {
+        case Op::kLock:
+        case Op::kUnlock:
+        case Op::kQueueWork:
+        case Op::kCallRcu:
+        case Op::kAlloc:
+        case Op::kFree:
+        case Op::kTlbFlush:
+          return Decide(
+              TriageVerdict::kUnknown,
+              StrFormat("moved block contains %s at seq %lld: relocating it changes "
+                        "cross-thread lock/spawn/allocator/IPI state",
+                        OpName(x->op), static_cast<long long>(x->seq)));
+        default:
+          break;
+      }
+    }
+    for (const ExecEvent* y : window) {
+      if (y->op == Op::kTlbFlush) {
+        return Decide(TriageVerdict::kUnknown,
+                      "TLB shootdown inside the reorder window synchronizes with "
+                      "every context");
+      }
+    }
+    for (const ExecEvent* x : block) {
+      for (const ExecEvent* y : window) {
+        if (Conflicting(*x, *y) && !(x->seq == r.first.seq && y->seq == r.second.seq)) {
+          return Decide(
+              TriageVerdict::kUnknown,
+              StrFormat("block event seq %lld conflicts with window event seq %lld "
+                        "beyond the candidate pair itself",
+                        static_cast<long long>(x->seq), static_cast<long long>(y->seq)));
+        }
+      }
+    }
+
+    const ExecEvent& a = r.first;
+    const ExecEvent& b = r.second;
+    auto plain_store = [](const ExecEvent& e) {
+      return e.op == Op::kStore || e.op == Op::kStoreImm;
+    };
+    if (plain_store(a) && plain_store(b) && a.addr == b.addr && a.len == b.len) {
+      if (a.value == b.value) {
+        return Decide(
+            TriageVerdict::kProvablyBenign,
+            StrFormat("silent store: both sides write %lld to the same cell, so the "
+                      "flipped run is observation-equivalent and the failure recurs",
+                      static_cast<long long>(a.value)));
+      }
+      // Different values: the flip changes which store lands last, which is
+      // observable only if something reads the cell afterwards.
+      if (!CellObservedAfter(ctx, a.addr, a.len, b.seq)) {
+        return Decide(TriageVerdict::kProvablyBenign,
+                      "dead store: nothing observes the cell after the second side, "
+                      "so the changed final value is invisible and the failure recurs");
+      }
+    }
+    // A store that rewrites the value the cell already holds leaves memory
+    // identical at every point of both orders, so a pure read on the other
+    // side observes the same value either way.
+    if (plain_store(a) && !b.is_write) {
+      const std::optional<Word> pre = ValueBefore(ctx, a.addr, a.len, a.seq);
+      if (pre.has_value() && *pre == a.value) {
+        return Decide(
+            TriageVerdict::kProvablyBenign,
+            StrFormat("already-silent store: the cell held %lld before the first "
+                      "side rewrote it, so the read observes the same value in "
+                      "either order and the failure recurs",
+                      static_cast<long long>(a.value)));
+      }
+    }
+    if (plain_store(b) && !a.is_write) {
+      const std::optional<Word> pre = ValueBefore(ctx, b.addr, b.len, b.seq);
+      if (pre.has_value() && *pre == b.value) {
+        return Decide(
+            TriageVerdict::kProvablyBenign,
+            StrFormat("already-silent store: the cell held %lld before the second "
+                      "side rewrote it, so the read observes the same value in "
+                      "either order and the failure recurs",
+                      static_cast<long long>(b.value)));
+      }
+    }
+    if (a.op == Op::kLoad && b.is_write && b.op != Op::kFree &&
+        DestRegisterDead(ctx, a)) {
+      return Decide(TriageVerdict::kProvablyBenign,
+                    "dead read: the first side's loaded register is never consumed "
+                    "on the recorded path, so the flip only changes a dead value");
+    }
+    if (b.op == Op::kLoad && a.is_write && a.op != Op::kFree &&
+        DestRegisterDead(ctx, b)) {
+      return Decide(TriageVerdict::kProvablyBenign,
+                    "dead read: the second side's loaded register is never consumed "
+                    "on the recorded path, so the flip only changes a dead value");
+    }
+    return Decide(TriageVerdict::kUnknown,
+                  "live value flow through the pair: only the dynamic flip can decide");
+  }
+};
+
+// --- lockset stage --------------------------------------------------------
+//
+// Critical-section pairs were already proven lock-protected by race
+// extraction (both sides hold `lock` with recorded section spans). The flip
+// is still informative — it decides whether the section order matters — but
+// its *unit* is statically known: BuildFlip moves the whole first section
+// past the second. The stage pre-computes that annotation.
+class LocksetStage : public TriageStage {
+ public:
+  const char* name() const override { return "lockset"; }
+
+  TriageDecision Classify(const TriageContext& ctx,
+                          const TriageCandidate& c) const override {
+    const RacePair& r = c.race;
+    if (r.cs_pair) {
+      return Decide(
+          TriageVerdict::kCriticalSectionUnit,
+          StrFormat("both sides hold %s: the flip moves the first critical section "
+                    "[%lld,%lld] past the second [%lld,%lld] as one unit",
+                    LockName(ctx, r.lock).c_str(),
+                    static_cast<long long>(r.first_cs_begin),
+                    static_cast<long long>(r.first_cs_end),
+                    static_cast<long long>(r.second_cs_begin),
+                    static_cast<long long>(r.second_cs_end)));
+    }
+    if (c.phantom) {
+      return Decide(TriageVerdict::kUnknown,
+                    "phantom pair: the lock state at the splice point is not "
+                    "recorded in the failing trace");
+    }
+    for (Addr l : r.first.locks_held) {
+      if (std::find(r.second.locks_held.begin(), r.second.locks_held.end(), l) !=
+          r.second.locks_held.end()) {
+        return Decide(TriageVerdict::kUnknown,
+                      StrFormat("sides share %s but no critical-section spans were "
+                                "recorded; left to the dynamic flip",
+                                LockName(ctx, l).c_str()));
+      }
+    }
+    return Decide(TriageVerdict::kUnknown, "no common lock covers both sides");
+  }
+};
+
+// --- mhp stage ------------------------------------------------------------
+//
+// May-happen-in-parallel over thread-create/IRQ structure, aimed at phantom
+// pairs (e, f): the flip splices f's unexecuted block immediately before e.
+// If f's thread provably cannot exist at that point — it is spawned only
+// *after* e in the failing run, or never spawned at all — the enforcer drops
+// every spliced entry ("thread does not exist") and the remaining sequence
+// is exactly the original order: a deterministic replay of the failing run.
+// The failure recurs, f never executes, and the dynamic verdict is exactly
+// kBenign with flip_took_effect = true. IRQ contexts are excluded: the
+// enforcer injects those on first reference, so the splice *is* enforceable.
+class MhpStage : public TriageStage {
+ public:
+  const char* name() const override { return "mhp"; }
+
+  TriageDecision Classify(const TriageContext& ctx,
+                          const TriageCandidate& c) const override {
+    if (!c.phantom) {
+      return Decide(TriageVerdict::kUnknown,
+                    "both sides executed: thread-create structure alone cannot "
+                    "discharge an executed pair");
+    }
+    const ThreadId tid = c.race.second.di.tid;
+    if (tid < 0) {
+      return Decide(TriageVerdict::kUnknown, "phantom thread id is invalid");
+    }
+    if (ctx.IsIrqContext(tid)) {
+      return Decide(TriageVerdict::kUnknown,
+                    "phantom thread is an IRQ context: the enforcer injects it on "
+                    "demand at the splice point");
+    }
+    const auto& threads = ctx.run().threads;
+    if (static_cast<size_t>(tid) >= threads.size()) {
+      return Decide(
+          TriageVerdict::kProvablyBenign,
+          StrFormat("phantom thread T%d never existed in the failing run: every "
+                    "spliced entry is unenforceable, so the flip replays the "
+                    "original order and the failure recurs",
+                    tid));
+    }
+    const int64_t spawn_seq = ctx.SpawnSeqOf(tid);
+    if (spawn_seq < 0) {
+      return Decide(TriageVerdict::kUnknown,
+                    StrFormat("phantom thread T%d is a base slice thread: it exists "
+                              "at the splice point",
+                              tid));
+    }
+    if (spawn_seq > c.race.first.seq) {
+      return Decide(
+          TriageVerdict::kProvablyBenign,
+          StrFormat("phantom thread T%d is spawned at seq %lld, after the first "
+                    "side (seq %lld): it cannot exist at the splice point, so the "
+                    "spliced block is dropped and the original order replays",
+                    tid, static_cast<long long>(spawn_seq),
+                    static_cast<long long>(c.race.first.seq)));
+    }
+    return Decide(TriageVerdict::kUnknown,
+                  StrFormat("phantom thread T%d already exists at the splice point "
+                            "(spawned at seq %lld)",
+                            tid, static_cast<long long>(spawn_seq)));
+  }
+};
+
+}  // namespace
+
+const char* TriageVerdictName(TriageVerdict verdict) {
+  switch (verdict) {
+    case TriageVerdict::kMustFlip: return "must-flip";
+    case TriageVerdict::kProvablyBenign: return "provably-benign";
+    case TriageVerdict::kCriticalSectionUnit: return "critical-section-unit";
+    case TriageVerdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+TriageContext::TriageContext(
+    const KernelImage* image, const RunResult* failing_run,
+    const std::map<ThreadId, std::pair<ProgramId, Word>>* irq_threads)
+    : image_(image), run_(failing_run), hb_(*failing_run) {
+  for (const SpawnEdge& edge : failing_run->spawns) {
+    spawn_seq_.emplace(edge.child, edge.seq);  // first spawn wins
+  }
+  if (irq_threads != nullptr) {
+    irq_threads_ = *irq_threads;
+  }
+  last_seq_ = failing_run->trace.empty() ? -1 : failing_run->trace.back().seq;
+}
+
+int64_t TriageContext::SpawnSeqOf(ThreadId tid) const {
+  auto it = spawn_seq_.find(tid);
+  return it == spawn_seq_.end() ? -1 : it->second;
+}
+
+bool TriageContext::IsIrqContext(ThreadId tid) const {
+  if (irq_threads_.count(tid) != 0) {
+    return true;
+  }
+  return tid >= 0 && static_cast<size_t>(tid) < run_->threads.size() &&
+         run_->threads[static_cast<size_t>(tid)].kind == ThreadKind::kHardIrq;
+}
+
+std::shared_ptr<const TriageStage> MakeHbStage() {
+  return std::make_shared<const HbStage>();
+}
+
+std::shared_ptr<const TriageStage> MakeLocksetStage() {
+  return std::make_shared<const LocksetStage>();
+}
+
+std::shared_ptr<const TriageStage> MakeMhpStage() {
+  return std::make_shared<const MhpStage>();
+}
+
+TriagePipeline DefaultTriagePipeline() {
+  return {MakeHbStage(), MakeLocksetStage(), MakeMhpStage()};
+}
+
+StatusOr<TriagePipeline> TriagePipelineFromSpec(const std::string& spec) {
+  TriagePipeline pipeline;
+  if (spec.empty() || spec == "none") {
+    return pipeline;
+  }
+  std::vector<std::string> names;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    names.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  for (const std::string& name : names) {
+    std::shared_ptr<const TriageStage> stage;
+    if (name == "hb") {
+      stage = MakeHbStage();
+    } else if (name == "lockset") {
+      stage = MakeLocksetStage();
+    } else if (name == "mhp") {
+      stage = MakeMhpStage();
+    } else {
+      return Status::InvalidArgument("unknown triage stage '" + name +
+                                     "' (valid: hb, lockset, mhp, none)");
+    }
+    for (const auto& existing : pipeline) {
+      if (std::string(existing->name()) == name) {
+        return Status::InvalidArgument("duplicate triage stage '" + name + "'");
+      }
+    }
+    pipeline.push_back(std::move(stage));
+  }
+  return pipeline;
+}
+
+TriageDecision RunTriage(const TriagePipeline& pipeline, const TriageContext& ctx,
+                         const TriageCandidate& candidate) {
+  std::string abstained;
+  for (const auto& stage : pipeline) {
+    TriageDecision d = stage->Classify(ctx, candidate);
+    if (d.verdict != TriageVerdict::kUnknown) {
+      d.stage = stage->name();
+      return d;
+    }
+    if (!abstained.empty()) {
+      abstained += "; ";
+    }
+    abstained += std::string(stage->name()) + ": " + d.reason;
+  }
+  TriageDecision d;
+  d.reason = abstained.empty() ? "pre-filter disabled" : abstained;
+  return d;
+}
+
+}  // namespace analysis
+}  // namespace aitia

@@ -60,6 +60,17 @@ struct AitiaOptions {
   // results are bit-identical either way (the CLI's --no-replay-cache flag
   // lands here).
   AitiaOptions& set_replay_cache(bool enabled);
+
+  // Toggles the static triage pre-filter in front of Causality Analysis's
+  // dynamic flip tests (DESIGN.md §13). On restores the default stage
+  // pipeline {hb, lockset, mhp}; off clears it so every candidate flips (the
+  // CLI's --no-prefilter flag lands here). Chains and verdicts are
+  // bit-identical either way; only the re-execution count changes.
+  AitiaOptions& set_prefilter(bool enabled);
+
+  // Replaces the triage pipeline with the stages named in `spec` (see
+  // analysis::TriagePipelineFromSpec; the CLI's --triage flag lands here).
+  Status set_triage(const std::string& spec);
 };
 
 struct AitiaReport {

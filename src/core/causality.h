@@ -22,8 +22,10 @@
 #define SRC_CORE_CAUSALITY_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "src/analysis/triage.h"
 #include "src/core/chain.h"
 #include "src/core/lifs.h"
 #include "src/hv/enforcer.h"
@@ -49,6 +51,13 @@ struct CausalityOptions {
   // Store to use (not owned) — the facade shares the slice's LIFS store so
   // flips reuse its baseline; nullptr makes the analysis own a private one.
   ckpt::CheckpointStore* checkpoint_store = nullptr;
+  // Static triage pre-filter (DESIGN.md §13): an ordered pipeline of stages
+  // run over each candidate before the dynamic flip. A kProvablyBenign
+  // verdict skips the re-execution and synthesizes the (proven) benign
+  // outcome; everything else still flips. Empty disables the pre-filter.
+  // Ignored while the supervisor's fault plan is enabled — triage proofs
+  // reason about deterministic replay, and fault injection breaks that.
+  analysis::TriagePipeline stages = analysis::DefaultTriagePipeline();
 };
 
 enum class RaceVerdict {
@@ -74,6 +83,14 @@ struct TestedRace {
   std::vector<size_t> disappeared;
   // Indices of races necessarily reversed alongside this flip (nested).
   std::vector<size_t> nested;
+  // Static triage outcome for this candidate (pre-filter, DESIGN.md §13).
+  // kUnknown with an empty stage when the pre-filter was off or abstained.
+  analysis::TriageVerdict triage_verdict = analysis::TriageVerdict::kUnknown;
+  std::string triage_stage;
+  std::string triage_reason;
+  // True when the dynamic flip was skipped because triage proved its
+  // outcome; verdict/flip bits/disappeared are then the proven prediction.
+  bool flip_skipped = false;
 };
 
 struct CausalityResult {
@@ -83,7 +100,11 @@ struct CausalityResult {
   // non-ok run_status) — the report must surface these as unclassified.
   std::vector<size_t> inconclusive_indices;
   CausalityChain chain;
+  // Dynamic flip runs actually executed (excludes pre-filtered skips);
+  // schedules_executed + flips_skipped == tested.size().
   int64_t schedules_executed = 0;
+  // Flip tests discharged statically by the triage pre-filter.
+  int64_t flips_skipped = 0;
   // Supervision accounting across all flip tests.
   RunBudget budget;
   double seconds = 0;

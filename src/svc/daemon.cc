@@ -387,6 +387,7 @@ void Daemon::RunDiagnose(const DiagnoseJob& job, const std::shared_ptr<OnceRespo
   options.set_jobs(job.jobs);
   options.set_deadline(deadline_seconds);
   options.set_replay_cache(options_.replay_cache);
+  options.causality.stages = options_.triage_stages;
   // The cancel probe is the hard bound: it fires when the request exceeds
   // its whole-request budget or when the drain grace expired — either way
   // the supervised stages unwind with kCancelled and the report degrades.

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "src/analysis/triage.h"
 #include "src/sim/faults.h"
 #include "src/svc/cache.h"
 #include "src/svc/work_queue.h"
@@ -66,6 +67,10 @@ struct DaemonOptions {
   // replay cache skips re-executed prefixes within one diagnosis. Chaos runs
   // bypass both automatically.
   bool replay_cache = true;
+  // Static triage pre-filter stages applied inside every diagnosis
+  // (DESIGN.md §13); empty disables the pre-filter (--no-prefilter). Chaos
+  // runs disable it automatically — triage proofs assume faultless replay.
+  analysis::TriagePipeline triage_stages = analysis::DefaultTriagePipeline();
   // Chaos: fault plan injected into every diagnosis (disabled when empty).
   // Caching is bypassed under chaos — fault-shaped results must not stick.
   FaultPlan faults;

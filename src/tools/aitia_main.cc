@@ -32,6 +32,7 @@
 #include "src/ingest/ingest.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/tools/options.h"
 #include "src/util/log.h"
 
 namespace {
@@ -44,24 +45,18 @@ constexpr int kExitDegraded = 3;
 int Usage(FILE* to) {
   std::fprintf(to,
                "usage: aitia [--json] [--jobs N] [--trace FILE] [--metrics]\n"
-               "             [--no-replay-cache] [--log-level LEVEL] <trace.ait | scenario-id>\n"
+               "             [--no-replay-cache] [--no-prefilter] [--triage SPEC]\n"
+               "             [--log-level LEVEL] <trace.ait | scenario-id>\n"
                "       aitia --emit <scenario-id>   # print a corpus scenario as .ait\n"
                "       aitia --list                 # list corpus scenario ids\n"
                "\n"
-               "  --jobs N          worker threads for the search and flip-test stages\n"
-               "                    (0 = hardware concurrency; results are identical\n"
-               "                    for any worker count)\n"
                "  --trace FILE      write a Chrome trace-event JSON flight record of\n"
                "                    the run (open in about:tracing or Perfetto)\n"
                "  --metrics         print the diagnosis metrics summary to stderr\n"
-               "  --no-replay-cache disable checkpoint/prefix-replay (src/ckpt): every\n"
-               "                    run re-executes from step 0. The diagnosis is\n"
-               "                    bit-identical either way; only wall-clock and the\n"
-               "                    ckpt.* metrics change\n"
-               "  --log-level L     debug|info|warn|error|off (default: the\n"
-               "                    AITIA_LOG_LEVEL env var, else info)\n"
+               "%s"
                "\n"
-               "exit codes: 0 diagnosed, 1 not diagnosed, 2 input error, 3 degraded\n");
+               "exit codes: 0 diagnosed, 1 not diagnosed, 2 input error, 3 degraded\n",
+               aitia::tools::SharedFlagsHelp());
   return to == stdout ? kExitDiagnosed : kExitInputError;
 }
 
@@ -75,42 +70,24 @@ int main(int argc, char** argv) {
   bool json = false;
   bool emit = false;
   bool metrics = false;
-  bool replay_cache = true;
-  bool jobs_set = false;
-  size_t jobs = 1;
+  tools::SharedFlags shared;
   std::string trace_path;
   std::string input;
-  auto parse_jobs = [&](const std::string& text) -> bool {
-    if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
-      std::fprintf(stderr, "aitia: --jobs expects a non-negative integer, got '%s'\n",
-                   text.c_str());
-      return false;
-    }
-    jobs = static_cast<size_t>(std::strtoull(text.c_str(), nullptr, 10));
-    jobs_set = true;
-    return true;
-  };
-  auto parse_log_level = [](const std::string& text) -> bool {
-    std::optional<LogLevel> level = ParseLogLevel(text);
-    if (!level.has_value()) {
-      std::fprintf(stderr,
-                   "aitia: --log-level expects debug|info|warn|error|off, got '%s'\n",
-                   text.c_str());
-      return false;
-    }
-    SetLogLevel(*level);
-    return true;
-  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const tools::ParseResult pr = tools::ParseSharedFlag("aitia", argc, argv, i, shared);
+    if (pr == tools::ParseResult::kError) {
+      return kExitInputError;
+    }
+    if (pr == tools::ParseResult::kParsed) {
+      continue;
+    }
     if (arg == "--json") {
       json = true;
     } else if (arg == "--emit") {
       emit = true;
     } else if (arg == "--metrics") {
       metrics = true;
-    } else if (arg == "--no-replay-cache") {
-      replay_cache = false;
     } else if (arg == "--trace") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "aitia: --trace needs a file path\n");
@@ -119,30 +96,6 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
-    } else if (arg == "--log-level") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "aitia: --log-level needs a value\n");
-        return Usage(stderr);
-      }
-      if (!parse_log_level(argv[++i])) {
-        return kExitInputError;
-      }
-    } else if (arg.rfind("--log-level=", 0) == 0) {
-      if (!parse_log_level(arg.substr(12))) {
-        return kExitInputError;
-      }
-    } else if (arg == "--jobs") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "aitia: --jobs needs a value\n");
-        return Usage(stderr);
-      }
-      if (!parse_jobs(argv[++i])) {
-        return kExitInputError;
-      }
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      if (!parse_jobs(arg.substr(7))) {
-        return kExitInputError;
-      }
     } else if (arg == "--list") {
       for (const ScenarioEntry& e : AllScenarios()) {
         std::printf("%s\n", e.id);
@@ -232,10 +185,7 @@ int main(int argc, char** argv) {
                  scenario.subsystem.c_str(), scenario.bug_kind.c_str());
   }
   AitiaOptions options;
-  if (jobs_set) {
-    options.set_jobs(jobs);
-  }
-  options.set_replay_cache(replay_cache);
+  tools::ApplySharedFlags(shared, options);
   AitiaReport report = DiagnoseScenario(scenario, options);
 
   if (const Status st = write_trace(); !st.ok()) {

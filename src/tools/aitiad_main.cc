@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "src/svc/daemon.h"
+#include "src/tools/options.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
 
@@ -74,7 +75,6 @@ int Usage(FILE* to) {
                "  --once              serve line-delimited JSON requests on stdin, respond on\n"
                "                      stdout, drain and exit 0 at EOF (no networking)\n"
                "  --workers N         diagnosis worker threads (default 2)\n"
-               "  --jobs N            pipeline workers inside one diagnosis (default 1)\n"
                "  --queue-shards N    admission queue shards (default 4)\n"
                "  --shard-capacity N  queued requests per shard (default 8)\n"
                "  --cache-capacity N  result-cache entries, 0 disables (default 128)\n"
@@ -82,15 +82,14 @@ int Usage(FILE* to) {
                "  --drain-grace-ms N  drain wait before cancelling in-flight work (default 5000)\n"
                "  --retry-after-ms N  hint attached to overloaded rejections (default 50)\n"
                "  --metrics-json F    write the final metrics snapshot to F on exit\n"
-               "  --no-replay-cache   disable checkpoint/prefix-replay inside diagnoses\n"
-               "                      (results identical; see the ckpt.* metrics)\n"
                "  --chaos-seed S      fault-injection seed (enables nothing by itself)\n"
                "  --chaos-drop P      per-mille dropped preemption points\n"
                "  --chaos-wakeup P    per-mille spurious wakeups (per step)\n"
                "  --chaos-abort P     per-mille aborted runs\n"
-               "  --log-level L       debug|info|warn|error|off\n"
+               "%s"
                "\n"
-               "protocol: one JSON object per line; see README 'aitiad request protocol'.\n");
+               "protocol: one JSON object per line; see README 'aitiad request protocol'.\n",
+               aitia::tools::SharedFlagsHelp());
   return to == stdout ? 0 : 2;
 }
 
@@ -301,6 +300,7 @@ int main(int argc, char** argv) {
   bool once = false;
   std::string metrics_json_path;
   svc::DaemonOptions options;
+  aitia::tools::SharedFlags shared;
 
   auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -321,6 +321,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t value = 0;
+    const aitia::tools::ParseResult pr =
+        aitia::tools::ParseSharedFlag("aitiad", argc, argv, i, shared);
+    if (pr == aitia::tools::ParseResult::kError) {
+      return Usage(stderr);
+    }
+    if (pr == aitia::tools::ParseResult::kParsed) {
+      continue;
+    }
     if (arg == "--once") {
       once = true;
     } else if (arg == "--port") {
@@ -331,9 +339,6 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers") {
       if (!parse_u64(need_value(i, "--workers"), value)) return Usage(stderr);
       options.workers = value;
-    } else if (arg == "--jobs") {
-      if (!parse_u64(need_value(i, "--jobs"), value)) return Usage(stderr);
-      options.jobs = value == 0 ? 0 : value;
     } else if (arg == "--queue-shards") {
       if (!parse_u64(need_value(i, "--queue-shards"), value)) return Usage(stderr);
       options.queue_shards = value;
@@ -352,8 +357,6 @@ int main(int argc, char** argv) {
     } else if (arg == "--retry-after-ms") {
       if (!parse_u64(need_value(i, "--retry-after-ms"), value)) return Usage(stderr);
       options.retry_after_ms = static_cast<int64_t>(value);
-    } else if (arg == "--no-replay-cache") {
-      options.replay_cache = false;
     } else if (arg == "--metrics-json") {
       const char* v = need_value(i, "--metrics-json");
       if (v == nullptr) return Usage(stderr);
@@ -370,11 +373,6 @@ int main(int argc, char** argv) {
     } else if (arg == "--chaos-abort") {
       if (!parse_u64(need_value(i, "--chaos-abort"), value)) return Usage(stderr);
       options.faults.abort_run = static_cast<uint32_t>(value);
-    } else if (arg == "--log-level") {
-      const char* v = need_value(i, "--log-level");
-      std::optional<LogLevel> level = v != nullptr ? ParseLogLevel(v) : std::nullopt;
-      if (!level.has_value()) return Usage(stderr);
-      SetLogLevel(*level);
     } else if (arg == "--help" || arg == "-h") {
       return Usage(stdout);
     } else {
@@ -386,6 +384,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "aitiad: pass exactly one of --port or --once\n");
     return Usage(stderr);
   }
+  if (shared.jobs_set) {
+    options.jobs = shared.jobs;
+  }
+  options.replay_cache = shared.replay_cache;
+  options.triage_stages = aitia::tools::ResolveTriagePipeline(shared);
 
   // Probe the metrics destination upfront: an unwritable path must fail at
   // startup, not swallow the flight record at exit.

@@ -1,0 +1,324 @@
+// Unit tests for the static race triage pipeline (src/analysis/triage).
+//
+// Each stage is exercised on purpose-built two/three-thread runs: the cases a
+// stage must discharge (silent store pair, dead store, dead read, phantom of
+// a never-created thread, critical-section pair) and — more importantly — the
+// adversarial near-misses it must NOT discharge (a later reader of the cell,
+// a live destination register, a pre-value only "known" from the global's
+// static initializer, a base-slice phantom thread). The corpus-wide
+// on/off×workers guarantee lives in prefilter_differential_test; these tests
+// pin down each stage's individual proof obligations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/races.h"
+#include "src/analysis/triage.h"
+#include "src/sim/builder.h"
+#include "src/sim/kernel.h"
+#include "src/sim/policy.h"
+
+namespace aitia {
+namespace analysis {
+namespace {
+
+// A synthetic run plus everything a TriageContext borrows from it.
+struct Fixture {
+  std::unique_ptr<KernelImage> image;
+  RunResult run;
+  RaceAnalysis races;
+
+  TriageContext Context() const {
+    return TriageContext(image.get(), &run, /*irq_threads=*/nullptr);
+  }
+};
+
+// Globals shared by the synthetic programs.
+struct Cells {
+  Addr g = 0;     // the raced-on cell
+  Addr lock = 0;  // a lock, for critical-section shapes
+};
+
+// Builds `threads` programs via `build(cells, builder, index)`, runs them
+// sequentially (thread 0 to completion, then thread 1, ...) and extracts the
+// races of the resulting trace.
+template <typename BuildFn>
+Fixture RunThreads(int threads, BuildFn build) {
+  Fixture f;
+  f.image = std::make_unique<KernelImage>();
+  Cells cells;
+  cells.g = f.image->AddGlobal("g", 0);
+  cells.lock = f.image->AddGlobal("lock", 0);
+  std::vector<ThreadSpec> specs;
+  for (int i = 0; i < threads; ++i) {
+    ProgramBuilder b("prog" + std::to_string(i));
+    build(cells, b, i);
+    f.image->AddProgram(b.Build());
+    specs.push_back({"t" + std::to_string(i), static_cast<ProgramId>(i), 0,
+                     ThreadKind::kSyscall});
+  }
+  KernelSim kernel(f.image.get(), specs);
+  std::vector<ThreadId> order;
+  for (int i = 0; i < threads; ++i) {
+    order.push_back(i);
+  }
+  SeqPolicy policy(order);
+  f.run = RunToCompletion(kernel, policy);
+  f.races = ExtractRaces(f.run);
+  return f;
+}
+
+TriageDecision Triage(const Fixture& f, const RacePair& race, bool phantom = false) {
+  TriageContext ctx = f.Context();
+  return RunTriage(DefaultTriagePipeline(), ctx, {race, phantom});
+}
+
+// --- hb stage -------------------------------------------------------------
+
+TEST(HbStageTest, SilentStorePairIsProvablyBenign) {
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int) {
+    Addr g = c.g;
+    b.Lea(R1, g).StoreImm(R1, 7).Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  TriageDecision d = Triage(f, f.races.races[0]);
+  EXPECT_EQ(d.verdict, TriageVerdict::kProvablyBenign);
+  EXPECT_EQ(d.stage, "hb");
+  EXPECT_NE(d.reason.find("silent store"), std::string::npos) << d.reason;
+}
+
+TEST(HbStageTest, DeadStoreOfDifferentValueIsProvablyBenign) {
+  // T0 writes 1, T1 writes 2, and nothing ever reads the cell again: the
+  // earlier store's value is unobservable in either order.
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int i) {
+    Addr g = c.g;
+    b.Lea(R1, g).StoreImm(R1, i + 1).Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  TriageDecision d = Triage(f, f.races.races[0]);
+  EXPECT_EQ(d.verdict, TriageVerdict::kProvablyBenign);
+  EXPECT_EQ(d.stage, "hb");
+  EXPECT_NE(d.reason.find("dead store"), std::string::npos) << d.reason;
+}
+
+TEST(HbStageTest, DeadStoreWithLaterReaderAbstains) {
+  // Same write-write shape, but T1 re-reads the cell afterwards: the flipped
+  // order changes which value the reader might observe, so no static proof.
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int i) {
+    Addr g = c.g;
+    b.Lea(R1, g).StoreImm(R1, i + 1);
+    if (i == 1) {
+      b.Load(R2, R1);
+    }
+    b.Exit();
+  });
+  ASSERT_GE(f.races.races.size(), 1u);
+  for (const RacePair& r : f.races.races) {
+    if (r.first.is_write && r.second.is_write) {
+      TriageDecision d = Triage(f, r);
+      EXPECT_EQ(d.verdict, TriageVerdict::kUnknown) << d.reason;
+    }
+  }
+}
+
+TEST(HbStageTest, DeadReadIsProvablyBenign) {
+  // T1's load lands in R2, which is clobbered before any use: whatever value
+  // the flip makes it read is never consumed.
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int i) {
+    Addr g = c.g;
+    b.Lea(R1, g);
+    if (i == 0) {
+      b.StoreImm(R1, 1);
+    } else {
+      b.Load(R2, R1).MovImm(R2, 0);
+    }
+    b.Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  TriageDecision d = Triage(f, f.races.races[0]);
+  EXPECT_EQ(d.verdict, TriageVerdict::kProvablyBenign);
+  EXPECT_EQ(d.stage, "hb");
+  EXPECT_NE(d.reason.find("dead"), std::string::npos) << d.reason;
+}
+
+TEST(HbStageTest, LiveReadAbstains) {
+  // Identical shape, but the loaded register feeds a branch: the value is
+  // live, the flip could change control flow, the stage must abstain.
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int i) {
+    Addr g = c.g;
+    b.Lea(R1, g);
+    if (i == 0) {
+      b.StoreImm(R1, 1);
+    } else {
+      b.Load(R2, R1).Label("skip").Bnez(R2, "skip2").Label("skip2");
+    }
+    b.Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  TriageDecision d = Triage(f, f.races.races[0]);
+  EXPECT_EQ(d.verdict, TriageVerdict::kUnknown) << d.reason;
+}
+
+TEST(HbStageTest, StoreOfInitialValueIsNotProvenSilent) {
+  // Regression test for the base-slice pre-value hole (CVE-2017-2671's
+  // shape): g's *static* initializer is 0 and T0 stores 0, but nothing in
+  // the trace proves the cell still held 0 when the trace began — setup code
+  // or a base slice may have rewritten it without leaving an event. The
+  // store must not be discharged as "already silent".
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int i) {
+    Addr g = c.g;
+    b.Lea(R1, g);
+    if (i == 0) {
+      b.StoreImm(R1, 0);
+    } else {
+      b.Load(R2, R1).Label("l").Bnez(R2, "l2").Label("l2");
+    }
+    b.Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  TriageDecision d = Triage(f, f.races.races[0]);
+  EXPECT_EQ(d.verdict, TriageVerdict::kUnknown) << d.reason;
+}
+
+// --- lockset stage --------------------------------------------------------
+
+TEST(LocksetStageTest, CommonLockPairIsCriticalSectionUnit) {
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int) {
+    Addr lock = c.lock;
+    Addr g = c.g;
+    b.Lea(R1, lock).Lock(R1).Lea(R2, g).StoreImm(R2, 1).Unlock(R1).Exit();
+  });
+  ASSERT_EQ(f.races.cs_pairs.size(), 1u);
+  TriageDecision d = Triage(f, f.races.cs_pairs[0]);
+  EXPECT_EQ(d.verdict, TriageVerdict::kCriticalSectionUnit);
+  EXPECT_EQ(d.stage, "lockset");
+  EXPECT_NE(d.reason.find("lock"), std::string::npos) << d.reason;
+}
+
+// --- mhp stage ------------------------------------------------------------
+
+TEST(MhpStageTest, PhantomOfNeverCreatedThreadIsProvablyBenign) {
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int) {
+    Addr g = c.g;
+    b.Lea(R1, g).StoreImm(R1, 1).Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  RacePair ghost = f.races.races[0];
+  ghost.second.di.tid = 99;  // no such thread ever existed in this run
+  TriageDecision d = Triage(f, ghost, /*phantom=*/true);
+  EXPECT_EQ(d.verdict, TriageVerdict::kProvablyBenign);
+  EXPECT_EQ(d.stage, "mhp");
+  EXPECT_NE(d.reason.find("never"), std::string::npos) << d.reason;
+}
+
+TEST(MhpStageTest, PhantomSpawnedAfterFirstSideIsProvablyBenign) {
+  // T0 stores g, then queue_work()s a kworker: the kworker cannot exist
+  // before the store it is supposed to be spliced ahead of.
+  Fixture f;
+  f.image = std::make_unique<KernelImage>();
+  Addr g = f.image->AddGlobal("g", 0);
+  ProgramBuilder worker("kworker");
+  worker.Lea(R1, g).StoreImm(R1, 2).Exit();
+  ProgramId worker_id = f.image->AddProgram(worker.Build());
+  ProgramBuilder main("main");
+  main.Lea(R1, g).StoreImm(R1, 1).QueueWork(worker_id, R1).Exit();
+  ProgramId main_id = f.image->AddProgram(main.Build());
+  KernelSim kernel(f.image.get(), {{"t0", main_id, 0, ThreadKind::kSyscall}});
+  SeqPolicy policy({0});
+  f.run = RunToCompletion(kernel, policy);
+  f.races = ExtractRaces(f.run);
+  ASSERT_EQ(f.run.spawns.size(), 1u);
+  const SpawnEdge& spawn = f.run.spawns[0];
+
+  // Phantom candidate: the kworker's store spliced before T0's store, which
+  // retired before the queue_work that creates the kworker.
+  RacePair ghost;
+  for (const ExecEvent& e : f.run.trace) {
+    if (e.is_write && e.di.tid == 0 && e.seq < spawn.seq) {
+      ghost.first = e;
+    }
+    if (e.is_write && e.di.tid == spawn.child) {
+      ghost.second = e;
+    }
+  }
+  ASSERT_TRUE(ghost.first.is_write);
+  ASSERT_TRUE(ghost.second.is_write);
+  TriageDecision d = Triage(f, ghost, /*phantom=*/true);
+  EXPECT_EQ(d.verdict, TriageVerdict::kProvablyBenign);
+  EXPECT_EQ(d.stage, "mhp");
+  EXPECT_NE(d.reason.find("spawned"), std::string::npos) << d.reason;
+}
+
+TEST(MhpStageTest, PhantomOfBaseSliceThreadAbstains) {
+  // Both threads exist from the start of the run: whether the phantom's
+  // thread reaches the splice point is a dynamic question (divergence,
+  // branch outcomes), so no static discharge.
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int) {
+    Addr g = c.g;
+    b.Lea(R1, g).StoreImm(R1, 1).Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  TriageDecision d = Triage(f, f.races.races[0], /*phantom=*/true);
+  EXPECT_EQ(d.verdict, TriageVerdict::kUnknown) << d.reason;
+}
+
+// --- pipeline plumbing ----------------------------------------------------
+
+TEST(TriagePipelineTest, DefaultPipelineStagesAndOrder) {
+  TriagePipeline p = DefaultTriagePipeline();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_STREQ(p[0]->name(), "hb");
+  EXPECT_STREQ(p[1]->name(), "lockset");
+  EXPECT_STREQ(p[2]->name(), "mhp");
+}
+
+TEST(TriagePipelineTest, SpecParsing) {
+  StatusOr<TriagePipeline> all = TriagePipelineFromSpec("hb,lockset,mhp");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+
+  StatusOr<TriagePipeline> reordered = TriagePipelineFromSpec("mhp,hb");
+  ASSERT_TRUE(reordered.ok());
+  ASSERT_EQ(reordered->size(), 2u);
+  EXPECT_STREQ((*reordered)[0]->name(), "mhp");
+  EXPECT_STREQ((*reordered)[1]->name(), "hb");
+
+  StatusOr<TriagePipeline> empty = TriagePipelineFromSpec("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  StatusOr<TriagePipeline> none = TriagePipelineFromSpec("none");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  EXPECT_FALSE(TriagePipelineFromSpec("bogus").ok());
+  EXPECT_FALSE(TriagePipelineFromSpec("hb,hb").ok());
+  EXPECT_FALSE(TriagePipelineFromSpec("hb,,mhp").ok());
+}
+
+TEST(TriagePipelineTest, EmptyPipelineAbstains) {
+  Fixture f = RunThreads(2, [](const Cells& c, ProgramBuilder& b, int) {
+    Addr g = c.g;
+    b.Lea(R1, g).StoreImm(R1, 7).Exit();
+  });
+  ASSERT_EQ(f.races.races.size(), 1u);
+  TriageContext ctx = f.Context();
+  TriageDecision d = RunTriage({}, ctx, {f.races.races[0], false});
+  EXPECT_EQ(d.verdict, TriageVerdict::kUnknown);
+  EXPECT_TRUE(d.stage.empty());
+}
+
+TEST(TriagePipelineTest, VerdictNames) {
+  EXPECT_STREQ(TriageVerdictName(TriageVerdict::kMustFlip), "must-flip");
+  EXPECT_STREQ(TriageVerdictName(TriageVerdict::kProvablyBenign), "provably-benign");
+  EXPECT_STREQ(TriageVerdictName(TriageVerdict::kCriticalSectionUnit),
+               "critical-section-unit");
+  EXPECT_STREQ(TriageVerdictName(TriageVerdict::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace aitia

@@ -1,0 +1,104 @@
+// Corpus-wide differential test for the static triage pre-filter
+// (src/analysis/triage): diagnosing every bundled scenario with the
+// pre-filter {off, on} × workers {1, 4} must produce bit-identical semantics
+// — per-race verdicts and flip bits, disappearance sets, the rendered causal
+// chain, root-cause index sets, and the diagnosed/degraded flags. The
+// pre-filter may only change *how much work* the dynamic stage does
+// (schedules_executed), never *what it concludes*.
+//
+// This is the enforcement arm of the TriageStage conservatism contract
+// (DESIGN.md §13): a stage returns kProvablyBenign only with an exact
+// prediction of the dynamic flip outcome, so turning the pre-filter on is
+// observationally pure speedup.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+
+namespace aitia {
+namespace {
+
+// Everything semantically observable about one diagnosis, rendered to a
+// comparable string (timing and metrics excluded on purpose).
+std::string Semantics(const BugScenario& s, const AitiaReport& r) {
+  std::string out;
+  out += "diagnosed=" + std::to_string(r.diagnosed);
+  out += " degraded=" + std::to_string(r.degraded);
+  out += "\nchain:\n" + r.causality.chain.Render(*s.image);
+  out += "roots:";
+  for (size_t i : r.causality.root_cause_indices) {
+    out += " " + std::to_string(i);
+  }
+  out += "\n";
+  for (const TestedRace& t : r.causality.tested) {
+    out += RaceLabel(*s.image, t.race);
+    out += " verdict=" + std::string(RaceVerdictName(t.verdict));
+    out += " phantom=" + std::to_string(t.phantom);
+    out += " cs=" + std::to_string(t.race.cs_pair);
+    out += " took_effect=" + std::to_string(t.flip_took_effect);
+    out += " still_failed=" + std::to_string(t.flip_still_failed);
+    out += " disappeared=";
+    for (size_t d : t.disappeared) {
+      out += std::to_string(d) + ",";
+    }
+    out += " nested=";
+    for (size_t n : t.nested) {
+      out += std::to_string(n) + ",";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(PrefilterDifferentialTest, CorpusSemanticsIdenticalOnOffAcrossWorkers) {
+  int64_t total_skipped = 0;
+  for (const ScenarioEntry& entry : AllScenarios()) {
+    BugScenario scenario = entry.make();
+    AitiaOptions off;
+    off.set_prefilter(false);
+    AitiaReport baseline = DiagnoseScenario(scenario, off);
+    EXPECT_EQ(baseline.causality.flips_skipped, 0) << entry.id;
+    const std::string want = Semantics(scenario, baseline);
+
+    for (size_t jobs : {size_t{1}, size_t{4}}) {
+      for (bool prefilter : {false, true}) {
+        if (!prefilter && jobs == 1) {
+          continue;  // that is the baseline itself
+        }
+        AitiaOptions options;
+        options.set_jobs(jobs).set_prefilter(prefilter);
+        AitiaReport report = DiagnoseScenario(scenario, options);
+        EXPECT_EQ(Semantics(scenario, report), want)
+            << entry.id << " jobs=" << jobs << " prefilter=" << prefilter;
+        const CausalityResult& ca = report.causality;
+        EXPECT_EQ(ca.schedules_executed + ca.flips_skipped,
+                  static_cast<int64_t>(ca.tested.size()))
+            << entry.id << " jobs=" << jobs << " prefilter=" << prefilter;
+        if (!prefilter) {
+          EXPECT_EQ(ca.flips_skipped, 0) << entry.id;
+        } else if (jobs == 1) {
+          total_skipped += ca.flips_skipped;
+          // Skipped flips must carry their static proof in the report.
+          for (const TestedRace& t : ca.tested) {
+            if (t.flip_skipped) {
+              EXPECT_EQ(t.triage_verdict, analysis::TriageVerdict::kProvablyBenign);
+              EXPECT_FALSE(t.triage_stage.empty());
+              EXPECT_FALSE(t.triage_reason.empty());
+              EXPECT_EQ(t.verdict, RaceVerdict::kBenign);
+            }
+          }
+        }
+      }
+    }
+  }
+  // The point of the pre-filter: strictly fewer dynamic flips on the corpus.
+  EXPECT_GT(total_skipped, 0);
+}
+
+}  // namespace
+}  // namespace aitia
