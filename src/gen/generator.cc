@@ -1,0 +1,139 @@
+#include "src/gen/generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace gen {
+namespace {
+
+// Knob bounds (documented in templates.h). ParseGenSpec enforces the same
+// ranges so a CLI spec can only name scenarios the sweep could generate.
+constexpr int kMaxWindow = 3;
+constexpr int kMaxSalt = 2;
+constexpr int kMaxExtraThreads = 1;
+constexpr int kMinLockDepth = 2;
+constexpr int kMaxLockDepth = 4;
+
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+GenKnobs SampleKnobs(GenTemplate tmpl, Rng& rng) {
+  GenKnobs knobs;
+  knobs.window = static_cast<int>(rng.NextBelow(kMaxWindow + 1));
+  knobs.salt = static_cast<int>(rng.NextBelow(kMaxSalt + 1));
+  knobs.extra_threads = static_cast<int>(rng.NextBelow(kMaxExtraThreads + 1));
+  knobs.lock_depth =
+      kMinLockDepth + static_cast<int>(rng.NextBelow(kMaxLockDepth - kMinLockDepth + 1));
+  knobs.irq = rng.Chance(1, 4);
+  // ABBA slices stay 2 threads wide: the deadlock ladder plus a bystander
+  // would push LIFS's frontier without adding coverage the benign template
+  // doesn't already provide.
+  if (tmpl == GenTemplate::kAbba) knobs.extra_threads = 0;
+  return knobs;
+}
+
+std::vector<GenOptions> CorpusPlan(int count, uint64_t sweep_seed,
+                                   const std::vector<GenTemplate>& templates) {
+  const std::vector<GenTemplate>& pool =
+      templates.empty() ? AllGenTemplates() : templates;
+  std::vector<GenOptions> plan;
+  plan.reserve(static_cast<size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    GenOptions options;
+    options.tmpl = pool[static_cast<size_t>(i) % pool.size()];
+    // Each slot draws from its own stream keyed by (sweep_seed, i): scenario
+    // i is identical no matter how large the sweep is (prefix stability).
+    options.seed = sweep_seed * 0x100000001b3ULL + static_cast<uint64_t>(i) + 1;
+    Rng rng(options.seed ^ 0x6b79616974696173ULL);
+    options.knobs = SampleKnobs(options.tmpl, rng);
+    plan.push_back(options);
+  }
+  return plan;
+}
+
+StatusOr<GenOptions> ParseGenSpec(const std::vector<std::string>& tokens) {
+  GenOptions options;
+  bool have_template = false;
+  for (const std::string& token : tokens) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("generator spec token '%s' is not key=value", token.c_str()));
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    int number = 0;
+    if (key == "template") {
+      if (!ParseGenTemplate(value, &options.tmpl)) {
+        return Status::InvalidArgument(
+            StrFormat("unknown template '%s'", value.c_str()));
+      }
+      have_template = true;
+    } else if (key == "seed") {
+      if (!ParseU64(value, &options.seed)) {
+        return Status::InvalidArgument(StrFormat("bad seed '%s'", value.c_str()));
+      }
+    } else if (key == "window") {
+      if (!ParseInt(value, &number) || number < 0 || number > kMaxWindow) {
+        return Status::InvalidArgument(
+            StrFormat("window must be 0..%d, got '%s'", kMaxWindow, value.c_str()));
+      }
+      options.knobs.window = number;
+    } else if (key == "salt") {
+      if (!ParseInt(value, &number) || number < 0 || number > kMaxSalt) {
+        return Status::InvalidArgument(
+            StrFormat("salt must be 0..%d, got '%s'", kMaxSalt, value.c_str()));
+      }
+      options.knobs.salt = number;
+    } else if (key == "extra_threads") {
+      if (!ParseInt(value, &number) || number < 0 || number > kMaxExtraThreads) {
+        return Status::InvalidArgument(StrFormat("extra_threads must be 0..%d, got '%s'",
+                                                 kMaxExtraThreads, value.c_str()));
+      }
+      options.knobs.extra_threads = number;
+    } else if (key == "lock_depth") {
+      if (!ParseInt(value, &number) || number < kMinLockDepth || number > kMaxLockDepth) {
+        return Status::InvalidArgument(StrFormat("lock_depth must be %d..%d, got '%s'",
+                                                 kMinLockDepth, kMaxLockDepth,
+                                                 value.c_str()));
+      }
+      options.knobs.lock_depth = number;
+    } else if (key == "irq") {
+      if (value != "0" && value != "1") {
+        return Status::InvalidArgument(
+            StrFormat("irq must be 0 or 1, got '%s'", value.c_str()));
+      }
+      options.knobs.irq = value == "1";
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown generator knob '%s'", key.c_str()));
+    }
+  }
+  if (!have_template) {
+    return Status::InvalidArgument("generator spec needs template=<name>");
+  }
+  return options;
+}
+
+}  // namespace gen
+}  // namespace aitia

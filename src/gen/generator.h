@@ -1,0 +1,52 @@
+// Seed-deterministic scenario generator (DESIGN.md §14).
+//
+// GenOptions (template x seed x knobs) fully determines the emitted
+// BugScenario: generation draws every random choice from Rng(seed), so the
+// same options reproduce the same scenario byte-for-byte through the .ait
+// serializer — the determinism contract the round-trip and sweep tests pin.
+
+#ifndef SRC_GEN_GENERATOR_H_
+#define SRC_GEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gen/templates.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace aitia {
+namespace gen {
+
+struct GenOptions {
+  GenTemplate tmpl = GenTemplate::kOrder;
+  uint64_t seed = 1;
+  GenKnobs knobs;
+};
+
+// Builds one scenario. Deterministic: equal options => byte-identical
+// ScenarioToAit output. The scenario id encodes template, seed, and knobs
+// ("gen-abba-s7w1x1t0d2[i]"), so distinct corpus entries never collide.
+GeneratedScenario GenerateScenario(const GenOptions& options);
+
+// Draws a knob assignment for `tmpl` from `rng` (the corpus driver's knob
+// space; every combination honors the template contract).
+GenKnobs SampleKnobs(GenTemplate tmpl, Rng& rng);
+
+// The deterministic sweep corpus: `count` scenarios derived from
+// `sweep_seed`, cycling over `templates` (all templates when empty) with
+// sampled knobs. Scenario i is independent of count — prefixes of a bigger
+// sweep match a smaller one.
+std::vector<GenOptions> CorpusPlan(int count, uint64_t sweep_seed,
+                                   const std::vector<GenTemplate>& templates = {});
+
+// Parses a CLI generator spec: whitespace-separated key=value tokens
+//   template=abba seed=7 window=2 salt=1 extra_threads=1 lock_depth=3 irq=1
+// Unknown keys, bad values, and out-of-range knobs are kInvalidArgument.
+StatusOr<GenOptions> ParseGenSpec(const std::vector<std::string>& tokens);
+
+}  // namespace gen
+}  // namespace aitia
+
+#endif  // SRC_GEN_GENERATOR_H_

@@ -25,10 +25,13 @@
 #include <fstream>
 #include <string>
 
+#include <vector>
+
 #include "src/bugs/diagnose.h"
 #include "src/bugs/registry.h"
 #include "src/core/aitia.h"
 #include "src/core/report.h"
+#include "src/gen/generator.h"
 #include "src/ingest/ingest.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -49,6 +52,11 @@ int Usage(FILE* to) {
                "             [--log-level LEVEL] <trace.ait | scenario-id>\n"
                "       aitia --emit <scenario-id>   # print a corpus scenario as .ait\n"
                "       aitia --list                 # list corpus scenario ids\n"
+               "       aitia --generate template=NAME [seed=N] [window=N] [salt=N]\n"
+               "             [extra_threads=N] [lock_depth=N] [irq=0|1]\n"
+               "                                    # print a generated scenario as .ait\n"
+               "                                    # (templates: order atomicity rcu\n"
+               "                                    #  workqueue refcount abba benign)\n"
                "\n"
                "  --trace FILE      write a Chrome trace-event JSON flight record of\n"
                "                    the run (open in about:tracing or Perfetto)\n"
@@ -69,10 +77,12 @@ int main(int argc, char** argv) {
 
   bool json = false;
   bool emit = false;
+  bool generate = false;
   bool metrics = false;
   tools::SharedFlags shared;
   std::string trace_path;
   std::string input;
+  std::vector<std::string> gen_tokens;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const tools::ParseResult pr = tools::ParseSharedFlag("aitia", argc, argv, i, shared);
@@ -86,6 +96,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--emit") {
       emit = true;
+    } else if (arg == "--generate") {
+      generate = true;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg == "--trace") {
@@ -106,6 +118,8 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "aitia: unknown flag '%s'\n", arg.c_str());
       return Usage(stderr);
+    } else if (generate) {
+      gen_tokens.push_back(arg);
     } else if (input.empty()) {
       input = arg;
     } else {
@@ -114,6 +128,22 @@ int main(int argc, char** argv) {
       return Usage(stderr);
     }
   }
+
+  if (generate) {
+    // --generate before positional args is the documented order; a stray
+    // positional parsed into `input` first is forwarded as a spec token.
+    if (!input.empty()) {
+      gen_tokens.insert(gen_tokens.begin(), input);
+    }
+    StatusOr<gen::GenOptions> spec = gen::ParseGenSpec(gen_tokens);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "aitia: %s\n", spec.status().ToString().c_str());
+      return kExitInputError;
+    }
+    std::fputs(ScenarioToAit(gen::GenerateScenario(*spec).scenario).c_str(), stdout);
+    return kExitDiagnosed;
+  }
+
   if (input.empty() && trace_path.empty()) {
     return Usage(stderr);
   }

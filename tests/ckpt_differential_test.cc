@@ -26,6 +26,7 @@
 #include "src/core/aitia.h"
 #include "src/core/chain.h"
 #include "src/fuzz/fuzzer.h"
+#include "src/gen/generator.h"
 
 namespace aitia {
 namespace {
@@ -155,6 +156,38 @@ TEST(CkptDifferentialTest, CorpusBitIdenticalAcrossReplayAndWorkers) {
   // robust to corpus members whose searches are too short to amortize.)
   std::printf("[ ckpt ] best executed-steps drop: %.2fx (%s)\n", best_ratio, best_id.c_str());
   EXPECT_GE(best_ratio, 2.0) << "replay cache saved too little execution corpus-wide";
+}
+
+// The same bit-identity contract over a fixed-seed generated mini-corpus:
+// 50 scenarios from the corpus expansion engine (DESIGN.md §14), which the
+// checkpoint engine's author never tuned for. Search budgets are capped like
+// the sweep's — planted bugs need <= 2 preemptions, and the caps count
+// schedules, so identical work is compared in every configuration.
+TEST(CkptDifferentialTest, GeneratedMiniCorpusBitIdenticalAcrossReplayAndWorkers) {
+  std::vector<gen::GenTemplate> buggy;
+  for (gen::GenTemplate tmpl : gen::AllGenTemplates()) {
+    if (tmpl != gen::GenTemplate::kBenign) buggy.push_back(tmpl);
+  }
+  auto capped = [](bool replay, size_t jobs) {
+    AitiaOptions options = Config(replay, jobs);
+    options.lifs.max_interleavings = 2;
+    options.lifs.max_schedules = 2500;
+    options.max_slices = 8;
+    return options;
+  };
+  for (const gen::GenOptions& plan : gen::CorpusPlan(50, 9, buggy)) {
+    const gen::GeneratedScenario g = gen::GenerateScenario(plan);
+    SCOPED_TRACE(g.scenario.id);
+    AitiaReport reference = DiagnoseScenario(g.scenario, capped(false, 1));
+    ExpectReportInvariants(reference, /*replay=*/false);
+    const std::string want = ReportKey(reference, *g.scenario.image);
+    for (const ConfigPoint& v : kVariants) {
+      SCOPED_TRACE(ConfigName(v.replay, v.jobs));
+      AitiaReport got = DiagnoseScenario(g.scenario, capped(v.replay, v.jobs));
+      ExpectReportInvariants(got, v.replay);
+      EXPECT_EQ(ReportKey(got, *g.scenario.image), want);
+    }
+  }
 }
 
 TEST(CkptDifferentialTest, FuzzPipelineBitIdenticalAcrossReplayAndWorkers) {

@@ -1,0 +1,156 @@
+// End-to-end coverage for the two failure classes the curated corpus
+// underuses: deadlock (flag-guarded ABBA lock ordering) and atomicity
+// violation (read-check-use BUG_ON). Both run the full generated-scenario
+// path — template -> .ait round-trip -> LIFS -> Causality Analysis — and
+// pin that the planted race is diagnosed, deterministically, with no
+// kInconclusive verdict on any chain race.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/bugs/diagnose.h"
+#include "src/core/aitia.h"
+#include "src/gen/generator.h"
+#include "src/ingest/ingest.h"
+#include "src/ingest/serialize.h"
+
+namespace aitia {
+namespace {
+
+// Diagnoses the generated scenario through the .ait round-trip, like the
+// CLI would a file on disk.
+AitiaReport DiagnoseViaAit(const BugScenario& scenario, BugScenario* reparsed_out) {
+  StatusOr<BugScenario> reparsed =
+      ScenarioFromAitText(ScenarioToAit(scenario), scenario.id + ".ait");
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  *reparsed_out = *reparsed;
+  return DiagnoseScenario(*reparsed_out);
+}
+
+// The verdict of every race in the chain: must be a definite root cause
+// (possibly ambiguity-entangled), never benign and never kInconclusive.
+void ExpectChainVerdictsDefinite(const BugScenario& s, const AitiaReport& report) {
+  for (const ChainNode& node : report.causality.chain.nodes()) {
+    for (const RacePair& race : node.races) {
+      bool found = false;
+      for (const TestedRace& t : report.causality.tested) {
+        if (t.race.first.di == race.first.di && t.race.second.di == race.second.di) {
+          found = true;
+          EXPECT_NE(t.verdict, RaceVerdict::kInconclusive)
+              << s.id << " " << RaceLabel(*s.image, race);
+          EXPECT_NE(t.verdict, RaceVerdict::kBenign)
+              << s.id << " " << RaceLabel(*s.image, race);
+        }
+      }
+      EXPECT_TRUE(found) << s.id << " chain race missing from tested set";
+    }
+  }
+}
+
+bool ChainTouchesGlobal(const BugScenario& s, const AitiaReport& report,
+                        const std::string& name) {
+  const Addr addr = s.image->FindGlobal(name);
+  EXPECT_NE(addr, 0u) << name;
+  for (const ChainNode& node : report.causality.chain.nodes()) {
+    for (const RacePair& race : node.races) {
+      if (race.first.addr == addr || race.second.addr == addr) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(DeadlockClassTest, AbbaTemplateDiagnosesTheFlagRaceAcrossLockDepths) {
+  for (int depth = 2; depth <= 4; ++depth) {
+    gen::GenOptions options;
+    options.tmpl = gen::GenTemplate::kAbba;
+    options.seed = 11;
+    options.knobs.lock_depth = depth;
+    const gen::GeneratedScenario g = gen::GenerateScenario(options);
+    ASSERT_EQ(g.scenario.truth.failure_type, FailureType::kDeadlock);
+
+    BugScenario s;
+    AitiaReport report = DiagnoseViaAit(g.scenario, &s);
+    ASSERT_TRUE(report.diagnosed) << "lock_depth=" << depth;
+    ASSERT_TRUE(report.lifs.failure.has_value());
+    EXPECT_EQ(report.lifs.failure->type, FailureType::kDeadlock) << depth;
+    EXPECT_GE(report.causality.chain.race_count(), 1u) << depth;
+    EXPECT_FALSE(report.causality.root_cause_indices.empty()) << depth;
+    // The planted trigger — the racy `registered` handshake that gates the
+    // reversed lock ladder — must be in the chain.
+    EXPECT_TRUE(ChainTouchesGlobal(s, report, "registered")) << depth;
+    ExpectChainVerdictsDefinite(s, report);
+  }
+}
+
+TEST(DeadlockClassTest, DeadlockDetectionIsDeterministic) {
+  gen::GenOptions options;
+  options.tmpl = gen::GenTemplate::kAbba;
+  options.seed = 23;
+  const gen::GeneratedScenario g = gen::GenerateScenario(options);
+
+  BugScenario s1, s2;
+  AitiaReport a = DiagnoseViaAit(g.scenario, &s1);
+  AitiaReport b = DiagnoseViaAit(g.scenario, &s2);
+  ASSERT_TRUE(a.diagnosed);
+  ASSERT_TRUE(b.diagnosed);
+  // Same failing schedule, same chain, run after run: the lock-blockage
+  // detector (every unfinished thread blocked, none parked) is a function
+  // of the schedule, not of timing.
+  EXPECT_EQ(a.lifs.failing_schedule.ToString(), b.lifs.failing_schedule.ToString());
+  EXPECT_EQ(a.causality.chain.Render(*s1.image), b.causality.chain.Render(*s2.image));
+  EXPECT_EQ(a.lifs.failure->type, FailureType::kDeadlock);
+  EXPECT_EQ(a.lifs.failure->message, b.lifs.failure->message);
+}
+
+TEST(DeadlockClassTest, SequentialBaseOrderIsClean) {
+  // The deadlock must be a genuine concurrency failure: thread-at-a-time
+  // execution in slice order completes without tripping any detector.
+  gen::GenOptions options;
+  options.tmpl = gen::GenTemplate::kAbba;
+  options.seed = 5;
+  const gen::GeneratedScenario g = gen::GenerateScenario(options);
+  AitiaOptions serial;
+  serial.lifs.max_interleavings = 0;  // only the no-preemption schedule
+  AitiaReport report = DiagnoseScenario(g.scenario, serial);
+  EXPECT_FALSE(report.lifs.reproduced);
+  EXPECT_FALSE(report.diagnosed);
+}
+
+TEST(AtomicityClassTest, CheckUseInterleavingDiagnosedWithInjectedRaceInChain) {
+  for (uint64_t seed : {1u, 17u, 40u}) {
+    gen::GenOptions options;
+    options.tmpl = gen::GenTemplate::kAtomicity;
+    options.seed = seed;
+    options.knobs.salt = 1;
+    const gen::GeneratedScenario g = gen::GenerateScenario(options);
+    ASSERT_EQ(g.scenario.truth.failure_type, FailureType::kAssertViolation);
+
+    BugScenario s;
+    AitiaReport report = DiagnoseViaAit(g.scenario, &s);
+    ASSERT_TRUE(report.diagnosed) << "seed=" << seed;
+    EXPECT_EQ(report.lifs.failure->type, FailureType::kAssertViolation) << seed;
+    // The injected race on dev_state (B2 sneaking between A1 and the
+    // BUG_ON's read) is the chain.
+    EXPECT_TRUE(ChainTouchesGlobal(s, report, "dev_state")) << seed;
+    ExpectChainVerdictsDefinite(s, report);
+  }
+}
+
+TEST(AtomicityClassTest, AssertDetectionIsDeterministic) {
+  gen::GenOptions options;
+  options.tmpl = gen::GenTemplate::kAtomicity;
+  options.seed = 29;
+  const gen::GeneratedScenario g = gen::GenerateScenario(options);
+  BugScenario s1, s2;
+  AitiaReport a = DiagnoseViaAit(g.scenario, &s1);
+  AitiaReport b = DiagnoseViaAit(g.scenario, &s2);
+  ASSERT_TRUE(a.diagnosed);
+  EXPECT_EQ(a.lifs.failing_schedule.ToString(), b.lifs.failing_schedule.ToString());
+  EXPECT_EQ(a.causality.chain.Render(*s1.image), b.causality.chain.Render(*s2.image));
+}
+
+}  // namespace
+}  // namespace aitia
