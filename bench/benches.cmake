@@ -31,3 +31,12 @@ target_compile_definitions(bench_parallel_lifs PRIVATE
 # The --baseline regression check parses archived sweep JSON with the svc
 # parser; the bench links it directly (the other benches do not need it).
 target_link_libraries(bench_parallel_lifs PRIVATE aitia_svc)
+
+# Cross-revision drift tracker: folds a directory of archived
+# BENCH_parallel_lifs.json artifacts into a per-revision series and fails on
+# schedule-count changes or sustained wall-clock regressions. A plain tool
+# (no google-benchmark dependency) that only needs the svc JSON parser.
+add_executable(bench_drift ${CMAKE_SOURCE_DIR}/bench/bench_drift.cc)
+target_link_libraries(bench_drift PRIVATE aitia_svc)
+set_target_properties(bench_drift PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

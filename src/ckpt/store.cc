@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -18,6 +19,12 @@ struct CkptMetrics {
   obs::Gauge* bytes_retained;
   obs::Counter* executed_steps;
   obs::Counter* replayed_steps;
+  // Per-entry reuse, recorded when an entry retires (eviction or store
+  // teardown): how many restores each deposited prefix ended up serving.
+  // Feeds the reuse-driven deposit-placement work — a deposit that retires
+  // with 0 hits was wasted capture cost.
+  obs::Histogram* entry_hits;
+  obs::Gauge* entry_hits_max;
 
   static const CkptMetrics& Get() {
     static const CkptMetrics* const m = [] {
@@ -30,11 +37,18 @@ struct CkptMetrics {
       cm->bytes_retained = reg.GetGauge("ckpt.bytes_retained");
       cm->executed_steps = reg.GetCounter("ckpt.executed_steps");
       cm->replayed_steps = reg.GetCounter("ckpt.replayed_steps");
+      cm->entry_hits = reg.GetHistogram("ckpt.entry_hits", {0, 1, 2, 4, 8, 16, 32, 64});
+      cm->entry_hits_max = reg.GetGauge("ckpt.entry_hits_max");
       return cm;
     }();
     return *m;
   }
 };
+
+void RetireEntry(int64_t hits) {
+  CkptMetrics::Get().entry_hits->Record(hits);
+  CkptMetrics::Get().entry_hits_max->SetMax(hits);
+}
 
 size_t BytesOf(const PreemptPrefixState& st) {
   size_t n = sizeof(st);
@@ -99,6 +113,17 @@ CheckpointStore::~CheckpointStore() {
   if (retained > 0) {
     CkptMetrics::Get().bytes_retained->Add(-retained);
   }
+  // Entries that survive to teardown retire here, so every deposit's reuse
+  // count reaches the ckpt.entry_hits histogram exactly once.
+  for (const PreemptEntry& e : preempt_) {
+    RetireEntry(e.hits);
+  }
+  for (const TotalOrderEntry& e : total_order_) {
+    RetireEntry(e.hits);
+  }
+  if (baseline_ != nullptr) {
+    RetireEntry(baseline_hits_.load(std::memory_order_relaxed));
+  }
 }
 
 size_t CheckpointStore::bytes_retained() const {
@@ -125,18 +150,24 @@ void CheckpointStore::EvictLocked() {
       }
     }
     size_t freed = 0;
+    int64_t hits = 0;
     if (ti < total_order_.size()) {
       freed = total_order_[ti].bytes;
+      hits = total_order_[ti].hits;
       total_order_.erase(total_order_.begin() + static_cast<std::ptrdiff_t>(ti));
     } else if (pi < preempt_.size()) {
       freed = preempt_[pi].bytes;
+      hits = preempt_[pi].hits;
       preempt_.erase(preempt_.begin() + static_cast<std::ptrdiff_t>(pi));
     } else {
       return;  // nothing evictable
     }
     prefix_bytes_ -= freed;
+    RetireEntry(hits);
     CkptMetrics::Get().evictions->Increment();
     CkptMetrics::Get().bytes_retained->Add(-static_cast<int64_t>(freed));
+    obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kCkpt, "ckpt.evict", "",
+                          {{"freed_bytes", static_cast<int64_t>(freed)}, {"hits", hits}});
   }
 }
 
@@ -158,6 +189,7 @@ std::unique_ptr<KernelSim> CheckpointStore::FindBaseline() {
     return nullptr;
   }
   CkptMetrics::Get().hits->Increment();
+  baseline_hits_.fetch_add(1, std::memory_order_relaxed);
   return sim;
 }
 
@@ -182,6 +214,8 @@ void CheckpointStore::PutBaseline(const KernelSim& sim) {
   }
   CkptMetrics::Get().stores->Increment();
   CkptMetrics::Get().bytes_retained->Add(static_cast<int64_t>(bytes));
+  obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kCkpt, "ckpt.baseline", "",
+                        {{"bytes", static_cast<int64_t>(bytes)}});
 }
 
 std::optional<PreemptHit> CheckpointStore::FindPreemptPrefix(
@@ -211,6 +245,7 @@ std::optional<PreemptHit> CheckpointStore::FindPreemptPrefix(
       return std::nullopt;
     }
     best->tick = ++tick_;
+    ++best->hits;
     best_ckpt = best->ckpt;
     best_state = best->state;
   }
@@ -297,6 +332,7 @@ std::optional<TotalOrderHit> CheckpointStore::FindTotalOrderPrefix(
       return std::nullopt;
     }
     best->tick = ++tick_;
+    ++best->hits;
     best_ckpt = best->ckpt;
     best_state = best->state;
   }

@@ -31,6 +31,7 @@
 #ifndef SRC_CKPT_STORE_H_
 #define SRC_CKPT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,6 +63,9 @@ struct StoreOptions {
   // proportional growth). Backward flip tests restore progressively shorter
   // prefixes, so granularity here directly bounds the re-executed suffix.
   int64_t total_order_stride = 4;
+  // Progress-event scope (src/obs/events.h): nonzero publishes store
+  // lifecycle events (baseline deposit, evictions); 0 publishes nothing.
+  uint64_t event_scope = 0;
 };
 
 // Mid-run enforcement state of Enforcer::RunPreemption at a deposit point —
@@ -144,12 +148,17 @@ class CheckpointStore {
     std::shared_ptr<const SimCheckpoint> ckpt;
     size_t bytes = 0;
     uint64_t tick = 0;
+    // Restores served by this entry; published to the ckpt.entry_hits
+    // histogram when the entry retires (eviction or store teardown) — the
+    // observed-reuse signal the ROADMAP's deposit-placement item needs.
+    int64_t hits = 0;
   };
   struct TotalOrderEntry {
     std::shared_ptr<const TotalOrderPrefixState> state;
     std::shared_ptr<const SimCheckpoint> ckpt;
     size_t bytes = 0;
     uint64_t tick = 0;
+    int64_t hits = 0;
   };
 
   // Evicts LRU prefix entries until the budget holds. Caller holds mu_.
@@ -160,6 +169,7 @@ class CheckpointStore {
   uint64_t tick_ = 0;
   std::shared_ptr<const SimCheckpoint> baseline_;
   size_t baseline_bytes_ = 0;
+  std::atomic<int64_t> baseline_hits_{0};
   std::vector<PreemptEntry> preempt_;
   std::vector<TotalOrderEntry> total_order_;
   size_t prefix_bytes_ = 0;

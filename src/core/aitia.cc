@@ -35,6 +35,14 @@ AitiaOptions& AitiaOptions::set_cancel(std::function<bool()> cancel) {
   return *this;
 }
 
+AitiaOptions& AitiaOptions::set_event_scope(uint64_t scope) {
+  lifs.event_scope = scope;
+  lifs.supervisor.event_scope = scope;
+  causality.event_scope = scope;
+  causality.supervisor.event_scope = scope;
+  return *this;
+}
+
 AitiaOptions& AitiaOptions::set_replay_cache(bool enabled) {
   lifs.checkpointing = enabled;
   causality.checkpointing = enabled;
@@ -146,7 +154,9 @@ std::unique_ptr<ckpt::CheckpointStore> MakeSliceStore(const AitiaOptions& option
   if (!options.lifs.checkpointing || options.lifs.checkpoint_store != nullptr) {
     return nullptr;
   }
-  return std::make_unique<ckpt::CheckpointStore>();
+  ckpt::StoreOptions so;
+  so.event_scope = options.lifs.event_scope;
+  return std::make_unique<ckpt::CheckpointStore>(so);
 }
 
 CausalityOptions SliceCausalityOptions(const AitiaOptions& options,

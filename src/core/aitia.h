@@ -71,6 +71,12 @@ struct AitiaOptions {
   // Replaces the triage pipeline with the stages named in `spec` (see
   // analysis::TriagePipelineFromSpec; the CLI's --triage flag lands here).
   Status set_triage(const std::string& spec);
+
+  // Tags every stage of this diagnosis with one progress-event scope
+  // (src/obs/events.h) so the daemon's streaming relay sees only its own
+  // request's lifecycle events. 0 (the default) publishes nothing; events
+  // are pure write-side observability either way.
+  AitiaOptions& set_event_scope(uint64_t scope);
 };
 
 struct AitiaReport {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/log.h"
@@ -333,6 +334,10 @@ CausalityResult CausalityAnalysis::Run() {
     triage_span.Arg("candidates", items.size())
         .Arg("skipped", skipped_total)
         .Arg("cs_units", cs_units);
+    obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kTriage, "ca.triage", "",
+                          {{"candidates", static_cast<int64_t>(items.size())},
+                           {"skipped", static_cast<int64_t>(skipped_total)},
+                           {"cs_units", static_cast<int64_t>(cs_units)}});
   }
   auto skipped_by_triage = [&](size_t i) {
     return triage[i].verdict == analysis::TriageVerdict::kProvablyBenign;
@@ -346,7 +351,8 @@ CausalityResult CausalityAnalysis::Run() {
   std::unique_ptr<ckpt::CheckpointStore> owned_store;
   if (options_.checkpointing) {
     if (options_.checkpoint_store == nullptr) {
-      owned_store = std::make_unique<ckpt::CheckpointStore>();
+      owned_store = std::make_unique<ckpt::CheckpointStore>(
+          ckpt::StoreOptions{.event_scope = options_.event_scope});
     }
     so.checkpoints =
         options_.checkpoint_store != nullptr ? options_.checkpoint_store : owned_store.get();
@@ -377,6 +383,14 @@ CausalityResult CausalityAnalysis::Run() {
       flip_status[i] = er.status();
     }
     span.Arg("ok", flip_status[i].ok());
+    // Published from pool workers; the bus serializes delivery. Frame order
+    // across workers is nondeterministic, but events are write-only — the
+    // verdicts themselves are settled later in index order.
+    obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kFlipTested, "ca.flip",
+                          RaceLabel(*image_, items[i].race),
+                          {{"index", static_cast<int64_t>(i)},
+                           {"total", static_cast<int64_t>(items.size())},
+                           {"ok", flip_status[i].ok() ? 1 : 0}});
   };
   if (options_.workers > 1 && items.size() > 1) {
     ThreadPool pool(options_.workers);
@@ -490,6 +504,12 @@ CausalityResult CausalityAnalysis::Run() {
           .Arg("verdict", RaceVerdictName(t.verdict))
           .Arg("phantom", t.phantom)
           .Arg("critical_section", t.race.cs_pair);
+      if (options_.event_scope != 0 && obs::EventBus::Global().active()) {
+        obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kVerdict, "ca.verdict",
+                              RaceLabel(*image_, t.race) + " " + RaceVerdictName(t.verdict),
+                              {{"index", static_cast<int64_t>(i)},
+                               {"skipped", t.flip_skipped ? 1 : 0}});
+      }
       root_cause_count += t.verdict == RaceVerdict::kRootCause ? 1 : 0;
       ambiguous_count += t.verdict == RaceVerdict::kAmbiguous ? 1 : 0;
     }

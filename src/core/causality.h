@@ -58,6 +58,10 @@ struct CausalityOptions {
   // Ignored while the supervisor's fault plan is enabled — triage proofs
   // reason about deterministic replay, and fault injection breaks that.
   analysis::TriagePipeline stages = analysis::DefaultTriagePipeline();
+  // Progress-event scope (src/obs/events.h): nonzero tags triage /
+  // flip-tested / verdict events for streaming subscribers; 0 publishes
+  // nothing.
+  uint64_t event_scope = 0;
 };
 
 enum class RaceVerdict {

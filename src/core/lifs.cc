@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/log.h"
@@ -204,7 +205,8 @@ Lifs::Lifs(const KernelImage* image, std::vector<ThreadSpec> slice,
       setup_(std::move(setup)),
       options_(options),
       owned_store_(options.checkpointing && options.checkpoint_store == nullptr
-                       ? std::make_unique<ckpt::CheckpointStore>()
+                       ? std::make_unique<ckpt::CheckpointStore>(
+                             ckpt::StoreOptions{.event_scope = options.event_scope})
                        : nullptr),
       supervisor_(image,
                   LifsSupervisorOptions(
@@ -361,6 +363,10 @@ bool Lifs::Absorb(EnforceResult& er, const PreemptionSchedule& schedule, int int
         .Arg("k", interleavings)
         .Arg("points", schedule.points.size())
         .Arg("schedule", schedule.ToString());
+    obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kLifs, "lifs.reproduced",
+                          schedule.ToString(),
+                          {{"interleavings", interleavings},
+                           {"schedules_executed", result_.schedules_executed}});
     FinalizeFailingRun(er.run, schedule, interleavings);
     return true;
   }
@@ -642,6 +648,8 @@ LifsResult Lifs::RunSearch() {
 
   result_.discovery_seconds = watch.ElapsedSeconds();
   discovery_done = true;
+  obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kLifs, "lifs.discovery", "",
+                        {{"schedules_executed", result_.schedules_executed}});
 
   for (int k = 1; k <= options_.max_interleavings; ++k) {
     // Knowledge can grow while exploring depth k (race-steered control
@@ -669,6 +677,10 @@ LifsResult Lifs::RunSearch() {
       }
 
       const size_t known_before = total_known;
+      obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kLifs, "lifs.pass", "",
+                            {{"depth", k},
+                             {"candidates", static_cast<int64_t>(candidates.size())},
+                             {"schedules_executed", result_.schedules_executed}});
 
       // One pass over the depth-k frontier. Candidates are a snapshot:
       // knowledge learned mid-pass only affects the next pass, exactly as in

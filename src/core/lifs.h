@@ -88,6 +88,11 @@ struct LifsOptions {
   // with Causality Analysis; nullptr makes Lifs own a private one. The store
   // is scoped to one (image, slice, setup): never share across slices.
   ckpt::CheckpointStore* checkpoint_store = nullptr;
+  // Progress-event scope (src/obs/events.h): nonzero tags this search's
+  // lifecycle events so a streaming subscriber sees only its own request.
+  // 0 (the default) publishes nothing. Events are write-only observability;
+  // the search never reads them back.
+  uint64_t event_scope = 0;
 };
 
 struct ExploredSchedule {

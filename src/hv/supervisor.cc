@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/ckpt/store.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/log.h"
@@ -184,6 +185,10 @@ StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_
         .Arg("nonce", nonce)
         .Arg("attempt", attempt + 1)
         .Arg("status", er.status.ToString());
+    obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kSupervision,
+                          "supervisor.retry", er.status.ToString(),
+                          {{"nonce", static_cast<int64_t>(nonce)},
+                           {"attempt", attempt + 1}});
     if (options_.backoff_ms_cap > 0) {
       // Deterministic seeded jitter: the sleep length is a pure function of
       // (retry_seed, nonce, attempt), so a replayed diagnosis spends the
@@ -206,6 +211,9 @@ StatusOr<EnforceResult> Supervisor::SuperviseAccounted(const RunFn& run, uint64_
   obs::Span("hv", "supervisor.exhausted", 'i')
       .Arg("nonce", nonce)
       .Arg("status", last.ToString());
+  obs::PublishDiagEvent(options_.event_scope, obs::DiagPhase::kSupervision,
+                        "supervisor.exhausted", last.ToString(),
+                        {{"nonce", static_cast<int64_t>(nonce)}});
   return last;
 }
 

@@ -60,6 +60,10 @@ struct SupervisorOptions {
   // owned); nullptr runs cold. Automatically bypassed while fault injection
   // is enabled — chaos runs must re-roll every step.
   ckpt::CheckpointStore* checkpoints = nullptr;
+  // Progress-event scope (src/obs/events.h): nonzero publishes supervision
+  // interventions (retries, deadline expirations, watchdog trips) to a
+  // streaming subscriber; 0 publishes nothing.
+  uint64_t event_scope = 0;
 };
 
 // Per-diagnosis accounting of what supervision spent and absorbed.

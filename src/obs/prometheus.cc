@@ -1,0 +1,135 @@
+#include "src/obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace aitia {
+namespace obs {
+namespace {
+
+bool IsNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+void AppendHeader(std::string& out, const std::string& prom_name,
+                  const std::string& source_name, const char* type) {
+  out += "# HELP " + prom_name + " aitia metric " + PromEscapeHelp(source_name) + "\n";
+  out += "# TYPE " + prom_name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string PromSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const bool first = out.empty();
+    if (IsNameChar(name[i], first)) {
+      out += name[i];
+    } else if (first && name[i] >= '0' && name[i] <= '9') {
+      out += '_';
+      out += name[i];
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) {
+    out = "_";
+  }
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromFormatValue(double value) {
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  // Integral values (the common case: every live instrument is int64) print
+  // exactly; everything else uses shortest-round-trip %.17g trimmed.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::fabs(value) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot, const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prefix + PromSanitizeName(name) + "_total";
+    AppendHeader(out, prom, name, "counter");
+    out += prom + " " + PromFormatValue(static_cast<double>(value)) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prefix + PromSanitizeName(name);
+    AppendHeader(out, prom, name, "gauge");
+    out += prom + " " + PromFormatValue(static_cast<double>(value)) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = prefix + PromSanitizeName(name);
+    AppendHeader(out, prom, name, "histogram");
+    // Registry buckets are per-bucket counts; the exposition is cumulative.
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += prom + "_bucket{le=\"" + PromFormatValue(static_cast<double>(h.bounds[i])) +
+             "\"} " + PromFormatValue(static_cast<double>(cumulative)) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " +
+           PromFormatValue(static_cast<double>(h.count)) + "\n";
+    out += prom + "_sum " + PromFormatValue(static_cast<double>(h.sum)) + "\n";
+    out += prom + "_count " + PromFormatValue(static_cast<double>(h.count)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace aitia

@@ -1,0 +1,57 @@
+// Prometheus text exposition (format version 0.0.4) for a MetricsSnapshot.
+//
+// The HTTP scrape plane (src/svc/http.cc, `aitiad --http-port`) serves this
+// from GET /metrics. The renderer is pure: it reads a snapshot and emits
+// text, never touching the registry or the pipeline.
+//
+// Mapping rules:
+//   - Dotted registry names are sanitized to the Prometheus charset
+//     [a-zA-Z0-9_:] and prefixed "aitia_" ("svc.requests" →
+//     "aitia_svc_requests"). Counters additionally get the conventional
+//     "_total" suffix.
+//   - Counters → `# TYPE ... counter`, gauges → gauge, histograms →
+//     cumulative `_bucket{le="..."}` series (upper-bound edges from the
+//     registry histogram, closed by `le="+Inf"`) plus `_sum` and `_count`.
+//   - Values are rendered exactly for int64 instruments; the helpers below
+//     also cover the full double range (NaN → "NaN", ±Inf → "+Inf"/"-Inf")
+//     so the format layer is correct independent of today's instruments.
+//
+// The escaping/formatting helpers are exposed for the hostility test suite,
+// which validates them against an independent line-format parser.
+
+#ifndef SRC_OBS_PROMETHEUS_H_
+#define SRC_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace aitia {
+namespace obs {
+
+// Sanitizes a dotted registry name into a valid Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+// guarded with '_'. Does not add the "aitia_" prefix.
+std::string PromSanitizeName(const std::string& name);
+
+// Escapes a label value for the text format: backslash, double-quote and
+// newline become \\, \" and \n.
+std::string PromEscapeLabelValue(const std::string& value);
+
+// Escapes HELP text: backslash and newline (quotes are legal in HELP).
+std::string PromEscapeHelp(const std::string& text);
+
+// Renders a sample value. Integers print without exponent or trailing
+// zeros; non-finite values use the spec spellings "NaN", "+Inf", "-Inf".
+std::string PromFormatValue(double value);
+
+// Full exposition for a snapshot. Every metric gets # HELP and # TYPE
+// lines; histograms expand to cumulative buckets. `prefix` is prepended to
+// every sanitized name.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const std::string& prefix = "aitia_");
+
+}  // namespace obs
+}  // namespace aitia
+
+#endif  // SRC_OBS_PROMETHEUS_H_

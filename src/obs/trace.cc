@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
 
@@ -51,6 +52,10 @@ void Tracer::Record(TraceEvent&& event) {
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.events.size() >= shard.capacity) {
     ++shard.dropped;  // bounded memory: first-come-first-kept
+    // Mirrored into the registry so ring saturation shows up in the report
+    // "metrics" section and on the scrape plane, not only in --trace output.
+    static obs::Counter* const dropped = MetricsRegistry::Global().GetCounter("trace.dropped");
+    dropped->Increment();
     return;
   }
   shard.events.push_back(std::move(event));

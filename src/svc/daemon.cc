@@ -12,8 +12,10 @@
 #include "src/core/aitia.h"
 #include "src/core/report.h"
 #include "src/ingest/ingest.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/svc/jsonv.h"
+#include "src/tools/sarif.h"
 #include "src/util/log.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
@@ -92,6 +94,97 @@ class Daemon::OnceResponder {
   Responder fn_;
 };
 
+// --- streaming relay --------------------------------------------------------
+
+// Pumps one streamed request's scope-filtered event-bus frames to its
+// transport sink. Constructed before the first lifecycle event is published
+// (the subscription exists first, so nothing is missed) and finished —
+// close, drain, join — strictly before the terminal response goes out,
+// which is what makes "every frame precedes the terminal" structural. A
+// slow or dead client only ever loses frames (bounded per-subscription
+// queue, oldest dropped and counted); it never back-pressures the worker.
+class StreamRelay {
+ public:
+  StreamRelay(std::string id, Daemon::Responder sink)
+      : scope_(obs::EventBus::NextScope()),
+        id_(std::move(id)),
+        sink_(std::move(sink)),
+        sub_(obs::EventBus::Global().Subscribe(scope_)) {
+    pump_ = std::thread([this] { Pump(); });
+  }
+
+  ~StreamRelay() { Finish(); }
+
+  StreamRelay(const StreamRelay&) = delete;
+  StreamRelay& operator=(const StreamRelay&) = delete;
+
+  uint64_t scope() const { return scope_; }
+
+  // Publishes a daemon-side lifecycle event into this request's scope. Going
+  // through the bus (instead of writing to the sink directly) keeps daemon
+  // frames ordered with pipeline frames: everything funnels through the one
+  // subscription queue.
+  void Publish(obs::DiagPhase phase, const char* name, std::string detail = std::string(),
+               std::vector<std::pair<std::string, int64_t>> counters = {}) {
+    obs::PublishDiagEvent(scope_, phase, name, std::move(detail), std::move(counters));
+  }
+
+  // Closes the subscription, drains every buffered frame to the sink, joins
+  // the pump. Idempotent; must complete before the terminal Send.
+  void Finish() {
+    sub_->Close();
+    if (pump_.joinable()) {
+      pump_.join();
+    }
+    static obs::Counter* const dropped =
+        obs::MetricsRegistry::Global().GetCounter("svc.stream_frames_dropped");
+    const int64_t d = sub_->dropped();
+    if (d > reported_dropped_) {
+      dropped->Add(d - reported_dropped_);
+      reported_dropped_ = d;
+    }
+  }
+
+ private:
+  void Pump() {
+    static obs::Counter* const frames =
+        obs::MetricsRegistry::Global().GetCounter("svc.stream_frames");
+    static obs::Counter* const sink_errors =
+        obs::MetricsRegistry::Global().GetCounter("svc.stream_sink_errors");
+    for (;;) {
+      std::optional<obs::DiagEvent> event = sub_->Next(/*timeout_ms=*/200);
+      if (event.has_value()) {
+        if (!sink_dead_) {
+          try {
+            sink_(StrFormat("{\"id\":\"%s\",\"event\":%s}", JsonEscape(id_).c_str(),
+                            obs::DiagEventToJson(*event).c_str()));
+            frames->Increment();
+          } catch (...) {
+            // The client went away mid-stream (broken pipe surfaced as an
+            // exception by the transport). The stream degrades to silence;
+            // the diagnosis and its terminal response are unaffected, and
+            // remaining events drain-discard so Finish() still completes.
+            sink_dead_ = true;
+            sink_errors->Increment();
+          }
+        }
+        continue;
+      }
+      if (sub_->closed()) {
+        return;  // closed and fully drained
+      }
+    }
+  }
+
+  const uint64_t scope_;
+  const std::string id_;
+  Daemon::Responder sink_;
+  std::shared_ptr<obs::EventSubscription> sub_;
+  std::thread pump_;
+  bool sink_dead_ = false;  // pump-thread only: stop writing after one failure
+  int64_t reported_dropped_ = 0;
+};
+
 // --- response builders ------------------------------------------------------
 
 namespace {
@@ -105,12 +198,12 @@ std::string ErrorResponse(const std::string& id, const std::string& status,
 
 std::string ResultResponse(const std::string& id, const std::string& scenario_id,
                            const std::string& status, const char* cache, double elapsed_ms,
-                           const std::string& report_json) {
+                           const std::string& report_json, const std::string& extra = "") {
   return StrFormat(
       "{\"id\":\"%s\",\"verb\":\"diagnose\",\"scenario\":\"%s\",\"status\":\"%s\","
-      "\"cache\":\"%s\",\"elapsed_ms\":%.3f,\"report\":%s}",
+      "\"cache\":\"%s\",\"elapsed_ms\":%.3f,\"report\":%s%s}",
       JsonEscape(id).c_str(), JsonEscape(scenario_id).c_str(), status.c_str(), cache,
-      elapsed_ms, report_json.c_str());
+      elapsed_ms, report_json.c_str(), extra.c_str());
 }
 
 // Maps a finished pipeline report to the protocol's terminal status word.
@@ -137,6 +230,9 @@ struct DiagnoseJob {
   int64_t deadline_ms = 0;
   int64_t hold_ms = 0;
   bool cacheable = true;
+  bool sarif = false;  // attach a SARIF log to the terminal response
+  // Non-null for "stream": true requests with a transport frame sink.
+  std::shared_ptr<StreamRelay> relay;
   Stopwatch admitted;  // started at admission: elapsed_ms includes queueing
 };
 
@@ -154,12 +250,12 @@ Daemon::Daemon(DaemonOptions options)
 
 Daemon::~Daemon() { Drain(); }
 
-void Daemon::Submit(std::string line, Responder respond) {
+void Daemon::Submit(std::string line, Responder respond, Responder stream) {
   auto once = std::make_shared<OnceResponder>(std::move(respond));
   // The request boundary: nothing a single request does — however malformed
   // or unlucky — may take the daemon down or swallow the response.
   try {
-    SubmitImpl(std::move(line), once);
+    SubmitImpl(std::move(line), once, stream);
   } catch (const std::exception& e) {
     Metrics::Get().errors_internal->Increment();
     once->Send(ErrorResponse("", "internal", StrFormat("request failed: %s", e.what())));
@@ -169,9 +265,11 @@ void Daemon::Submit(std::string line, Responder respond) {
   }
 }
 
-std::string Daemon::HandleLine(const std::string& line) {
+std::string Daemon::HandleLine(const std::string& line, const Responder& stream) {
   // Blocking wrapper over the async path; rejections and cache hits respond
-  // inline, diagnoses from a worker thread.
+  // inline, diagnoses from a worker thread. Stream frames are delivered (to
+  // `stream`, from the relay thread) before the terminal is produced, so by
+  // the time this returns the caller has seen every frame.
   struct Sync {
     std::mutex mu;
     std::condition_variable cv;
@@ -179,18 +277,22 @@ std::string Daemon::HandleLine(const std::string& line) {
     bool done = false;
   };
   auto sync = std::make_shared<Sync>();
-  Submit(line, [sync](std::string response) {
-    std::lock_guard<std::mutex> lock(sync->mu);
-    sync->response = std::move(response);
-    sync->done = true;
-    sync->cv.notify_all();
-  });
+  Submit(
+      line,
+      [sync](std::string response) {
+        std::lock_guard<std::mutex> lock(sync->mu);
+        sync->response = std::move(response);
+        sync->done = true;
+        sync->cv.notify_all();
+      },
+      stream);
   std::unique_lock<std::mutex> lock(sync->mu);
   sync->cv.wait(lock, [&] { return sync->done; });
   return sync->response;
 }
 
-void Daemon::SubmitImpl(std::string line, const std::shared_ptr<OnceResponder>& respond) {
+void Daemon::SubmitImpl(std::string line, const std::shared_ptr<OnceResponder>& respond,
+                        const Responder& stream) {
   const Metrics& m = Metrics::Get();
   m.requests->Increment();
 
@@ -247,7 +349,7 @@ void Daemon::SubmitImpl(std::string line, const std::shared_ptr<OnceResponder>& 
     return;
   }
   if (verb == "diagnose") {
-    HandleDiagnose(doc, id, respond);
+    HandleDiagnose(doc, id, respond, stream);
     return;
   }
   m.errors_invalid->Increment();
@@ -257,7 +359,8 @@ void Daemon::SubmitImpl(std::string line, const std::shared_ptr<OnceResponder>& 
 }
 
 void Daemon::HandleDiagnose(const JsonValue& doc, const std::string& id,
-                            const std::shared_ptr<OnceResponder>& respond) {
+                            const std::shared_ptr<OnceResponder>& respond,
+                            const Responder& stream) {
   const Metrics& m = Metrics::Get();
   if (draining()) {
     m.rejected_draining->Increment();
@@ -319,14 +422,32 @@ void Daemon::HandleDiagnose(const JsonValue& doc, const std::string& id,
   job->hold_ms =
       clamp(doc.Find("hold_ms") != nullptr ? doc.Find("hold_ms")->AsInt() : 0, 0, options_.max_hold_ms);
   const bool no_cache = doc.Find("no_cache") != nullptr && doc.Find("no_cache")->AsBool();
+  job->sarif = doc.Find("sarif") != nullptr && doc.Find("sarif")->AsBool();
   // Chaos runs bypass the cache in both directions: a fault-shaped result
-  // must neither be served from nor stored into it.
-  job->cacheable = !no_cache && !options_.faults.enabled();
+  // must neither be served from nor stored into it. SARIF requests bypass it
+  // too: the log is built from the in-memory report, which the cache does
+  // not retain, so a hit could not carry one.
+  job->cacheable = !no_cache && !job->sarif && !options_.faults.enabled();
   job->fingerprint = ScenarioFingerprint(job->scenario);
+
+  // "stream": true with a frame-capable transport: attach the relay now —
+  // before the first lifecycle event — so no frame can be missed, and
+  // publish kQueued from the admission thread, which orders it strictly
+  // before the worker's kStarted (the queue push happens below).
+  if (stream != nullptr && doc.Find("stream") != nullptr && doc.Find("stream")->AsBool()) {
+    job->relay = std::make_shared<StreamRelay>(id, stream);
+    job->relay->Publish(obs::DiagPhase::kQueued, "svc.queued", job->scenario.id,
+                        {{"queue_depth", static_cast<int64_t>(queue_->depth())}});
+  }
 
   if (job->cacheable) {
     if (std::optional<CachedResult> hit = cache_.Get(job->fingerprint)) {
       m.cache_hits->Increment();
+      if (job->relay != nullptr) {
+        job->relay->Publish(obs::DiagPhase::kDone, "svc.done", hit->status_word,
+                            {{"cache_hit", 1}});
+        job->relay->Finish();
+      }
       respond->Send(ResultResponse(id, job->scenario.id, hit->status_word, "hit",
                                    job->admitted.ElapsedMillis(), hit->report_json));
       return;
@@ -356,6 +477,9 @@ void Daemon::HandleDiagnose(const JsonValue& doc, const std::string& id,
     }
     case WorkQueue::Push::kOverloaded:
       m.rejected_overloaded->Increment();
+      if (job->relay != nullptr) {
+        job->relay->Finish();  // flush the queued frame before the terminal
+      }
       respond->Send(ErrorResponse(
           id, "overloaded", "admission queue full; retry later",
           StrFormat(",\"retry_after_ms\":%lld",
@@ -363,6 +487,9 @@ void Daemon::HandleDiagnose(const JsonValue& doc, const std::string& id,
       return;
     case WorkQueue::Push::kShutdown:
       m.rejected_draining->Increment();
+      if (job->relay != nullptr) {
+        job->relay->Finish();
+      }
       respond->Send(ErrorResponse(id, "draining", "daemon is draining; not admitting requests"));
       return;
   }
@@ -373,6 +500,11 @@ void Daemon::RunDiagnose(const DiagnoseJob& job, const std::shared_ptr<OnceRespo
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   m.in_flight->Add(1);
   m.queue_depth->Set(static_cast<int64_t>(queue_->depth()));
+
+  if (job.relay != nullptr) {
+    job.relay->Publish(obs::DiagPhase::kStarted, "svc.started", job.scenario.id,
+                       {{"queue_depth", static_cast<int64_t>(queue_->depth())}});
+  }
 
   // Load/chaos hook: an artificial pre-diagnosis delay, so drivers can pin a
   // worker for a known time. Sliced so a hard drain cuts it short.
@@ -388,6 +520,9 @@ void Daemon::RunDiagnose(const DiagnoseJob& job, const std::shared_ptr<OnceRespo
   options.set_deadline(deadline_seconds);
   options.set_replay_cache(options_.replay_cache);
   options.causality.stages = options_.triage_stages;
+  if (job.relay != nullptr) {
+    options.set_event_scope(job.relay->scope());
+  }
   // The cancel probe is the hard bound: it fires when the request exceeds
   // its whole-request budget or when the drain grace expired — either way
   // the supervised stages unwind with kCancelled and the report degrades.
@@ -419,8 +554,20 @@ void Daemon::RunDiagnose(const DiagnoseJob& job, const std::shared_ptr<OnceRespo
   }
   const double elapsed_ms = job.admitted.ElapsedMillis();
   m.request_ms->Record(static_cast<int64_t>(elapsed_ms));
-  respond->Send(
-      ResultResponse(job.id, job.scenario.id, status_word, "miss", elapsed_ms, report_json));
+  std::string extra;
+  if (job.sarif) {
+    extra = ",\"sarif\":" + tools::ReportToSarif(job.scenario, report);
+  }
+  if (job.relay != nullptr) {
+    job.relay->Publish(obs::DiagPhase::kDone, "svc.done", status_word,
+                       {{"diagnosed", report.diagnosed ? 1 : 0},
+                        {"degraded", report.degraded ? 1 : 0}});
+    // Frames out, then the terminal: Finish() drains the relay queue to the
+    // transport before the single-shot responder fires.
+    job.relay->Finish();
+  }
+  respond->Send(ResultResponse(job.id, job.scenario.id, status_word, "miss", elapsed_ms,
+                               report_json, extra));
 
   m.in_flight->Add(-1);
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -460,6 +607,28 @@ void Daemon::Drain() {
 
 std::string Daemon::MetricsJson() {
   return obs::MetricsRegistry::Global().Snapshot().ToJson();
+}
+
+std::string Daemon::StatusJson() const {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  const int64_t hits = snap.counter("svc.cache_hits");
+  const int64_t misses = snap.counter("svc.cache_misses");
+  const int64_t lookups = hits + misses;
+  const auto gauge = [&snap](const char* name) {
+    const auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? int64_t{0} : it->second;
+  };
+  return StrFormat(
+      "{\"uptime_seconds\":%.3f,\"draining\":%s,\"queue_depth\":%zu,"
+      "\"queue_depth_peak\":%lld,\"in_flight\":%lld,\"accepted\":%lld,"
+      "\"completed\":%lld,\"cache_hit_rate\":%.4f,\"stream_frames\":%lld}",
+      uptime_.ElapsedSeconds(), draining() ? "true" : "false", queue_->depth(),
+      static_cast<long long>(gauge("svc.queue_depth_peak")),
+      static_cast<long long>(in_flight()),
+      static_cast<long long>(snap.counter("svc.accepted")),
+      static_cast<long long>(snap.counter("svc.completed")),
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups),
+      static_cast<long long>(snap.counter("svc.stream_frames")));
 }
 
 }  // namespace svc

@@ -10,8 +10,18 @@
 // Request verbs (see README "The aitiad request protocol"):
 //   {"verb":"diagnose", "scenario":"CVE-2017-15649"}        corpus id
 //   {"verb":"diagnose", "ait":"...", "id":"r1",
-//    "jobs":2, "deadline_ms":5000, "hold_ms":0, "no_cache":false}
+//    "jobs":2, "deadline_ms":5000, "hold_ms":0, "no_cache":false,
+//    "stream":true, "sarif":true}
 //   {"verb":"metrics"}   {"verb":"ping"}   {"verb":"shutdown"}
+//
+// Streaming: a diagnose request with "stream": true receives zero or more
+// NDJSON progress frames {"id":..., "event":{...}} over the same connection
+// before — never after — its terminal response. The terminal is still
+// exactly one object and carries no "event" key, so existing clients that
+// match on "report"/"status" keep working and new clients demux on "event".
+// Frames are delivered by a per-request relay pumping the src/obs event bus
+// (scope-filtered, bounded, drop-counted); the pipeline itself never blocks
+// on a slow streaming consumer.
 //
 // Failure model, in order of the request pipeline:
 //   - oversized / unparseable / unknown-verb input  -> "invalid_argument"
@@ -36,6 +46,7 @@
 #include "src/sim/faults.h"
 #include "src/svc/cache.h"
 #include "src/svc/work_queue.h"
+#include "src/util/stopwatch.h"
 
 namespace aitia {
 namespace svc {
@@ -95,10 +106,16 @@ class Daemon {
   // terminal response — inline (rejections, cache hits, protocol errors) or
   // from a worker thread (diagnoses). Safe to call from any thread, also
   // while (or after) draining: post-drain submissions get "draining".
-  void Submit(std::string line, Responder respond);
+  //
+  // `stream` (optional) receives NDJSON progress frames for requests that
+  // set "stream": true; it may be called from a relay thread, zero or more
+  // times, and always strictly before the terminal `respond`. A null stream
+  // downgrades "stream": true to a plain request (no frames).
+  void Submit(std::string line, Responder respond, Responder stream = nullptr);
 
-  // Synchronous Submit: blocks until the response is ready (--once mode).
-  std::string HandleLine(const std::string& line);
+  // Synchronous Submit: blocks until the terminal response is ready (--once
+  // mode). `stream` frames, if any, are delivered before this returns.
+  std::string HandleLine(const std::string& line, const Responder& stream = nullptr);
 
   // Stops admitting new diagnosis requests ("draining" rejections).
   void BeginDrain();
@@ -121,13 +138,19 @@ class Daemon {
   // Current process-wide metrics snapshot as JSON (the --metrics-json dump).
   static std::string MetricsJson();
 
+  // Service health for the HTTP /statusz endpoint: uptime, queue depth and
+  // peak, in-flight, accepted/completed, cache hit rate, drain state.
+  std::string StatusJson() const;
+
  private:
   struct Metrics;
   class OnceResponder;
 
-  void SubmitImpl(std::string line, const std::shared_ptr<OnceResponder>& respond);
+  void SubmitImpl(std::string line, const std::shared_ptr<OnceResponder>& respond,
+                  const Responder& stream);
   void HandleDiagnose(const class JsonValue& doc, const std::string& id,
-                      const std::shared_ptr<OnceResponder>& respond);
+                      const std::shared_ptr<OnceResponder>& respond,
+                      const Responder& stream);
   void RunDiagnose(const struct DiagnoseJob& job,
                    const std::shared_ptr<OnceResponder>& respond);
 
@@ -138,6 +161,7 @@ class Daemon {
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<int64_t> in_flight_{0};
   std::atomic<uint64_t> request_seq_{0};
+  Stopwatch uptime_;  // construction time; /statusz uptime
   ResultCache cache_;
   std::unique_ptr<WorkQueue> queue_;
 };

@@ -9,6 +9,8 @@
 //   $ aitia CVE-2017-15649              # corpus id instead of a file
 //   $ aitia --trace out.json fig-1      # Chrome trace-event flight record
 //   $ aitia --metrics fig-1             # metrics summary on stderr
+//   $ aitia --sarif out.sarif fig-1     # SARIF 2.1.0 log for CI annotation
+//   $ aitia --metrics-json m.json fig-1 # metrics snapshot as nested JSON
 //   $ aitia --emit syz-04               # serialize a corpus scenario to .ait
 //   $ aitia --list                      # list corpus ids
 //
@@ -36,6 +38,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tools/options.h"
+#include "src/tools/sarif.h"
 #include "src/util/log.h"
 
 namespace {
@@ -48,6 +51,7 @@ constexpr int kExitDegraded = 3;
 int Usage(FILE* to) {
   std::fprintf(to,
                "usage: aitia [--json] [--jobs N] [--trace FILE] [--metrics]\n"
+               "             [--sarif FILE] [--metrics-json FILE]\n"
                "             [--no-replay-cache] [--no-prefilter] [--triage SPEC]\n"
                "             [--log-level LEVEL] <trace.ait | scenario-id>\n"
                "       aitia --emit <scenario-id>   # print a corpus scenario as .ait\n"
@@ -61,6 +65,9 @@ int Usage(FILE* to) {
                "  --trace FILE      write a Chrome trace-event JSON flight record of\n"
                "                    the run (open in about:tracing or Perfetto)\n"
                "  --metrics         print the diagnosis metrics summary to stderr\n"
+               "  --metrics-json F  write the diagnosis metrics snapshot to F as nested\n"
+               "                    JSON (the same shape as aitiad --metrics-json)\n"
+               "  --sarif FILE      write the diagnosis as a SARIF 2.1.0 log\n"
                "%s"
                "\n"
                "exit codes: 0 diagnosed, 1 not diagnosed, 2 input error, 3 degraded\n",
@@ -81,6 +88,8 @@ int main(int argc, char** argv) {
   bool metrics = false;
   tools::SharedFlags shared;
   std::string trace_path;
+  std::string sarif_path;
+  std::string metrics_json_path;
   std::string input;
   std::vector<std::string> gen_tokens;
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +117,22 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aitia: --sarif needs a file path\n");
+        return Usage(stderr);
+      }
+      sarif_path = argv[++i];
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg == "--metrics-json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aitia: --metrics-json needs a file path\n");
+        return Usage(stderr);
+      }
+      metrics_json_path = argv[++i];
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_path = arg.substr(15);
     } else if (arg == "--list") {
       for (const ScenarioEntry& e : AllScenarios()) {
         std::printf("%s\n", e.id);
@@ -176,6 +201,26 @@ int main(int argc, char** argv) {
     // Tracing starts before the scenario load so ingest spans are captured.
     obs::Tracer::Global().Start();
   }
+  // Same probe-then-write discipline for the SARIF and metrics destinations.
+  std::ofstream sarif_out;
+  if (!sarif_path.empty()) {
+    sarif_out.open(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!sarif_out) {
+      const Status st = Status::Unavailable("cannot open sarif output file: " + sarif_path);
+      std::fprintf(stderr, "aitia: %s\n", st.ToString().c_str());
+      return kExitInputError;
+    }
+  }
+  std::ofstream metrics_json_out;
+  if (!metrics_json_path.empty()) {
+    metrics_json_out.open(metrics_json_path, std::ios::binary | std::ios::trunc);
+    if (!metrics_json_out) {
+      const Status st =
+          Status::Unavailable("cannot open metrics output file: " + metrics_json_path);
+      std::fprintf(stderr, "aitia: %s\n", st.ToString().c_str());
+      return kExitInputError;
+    }
+  }
   auto write_trace = [&]() -> Status {
     if (trace_path.empty()) {
       return OkStatus();
@@ -224,6 +269,31 @@ int main(int argc, char** argv) {
   }
   if (metrics) {
     std::fprintf(stderr, "--- metrics ---\n%s", report.metrics.ToText().c_str());
+  }
+  if (!sarif_path.empty()) {
+    sarif_out << tools::ReportToSarif(scenario, report) << "\n";
+    if (!sarif_out.flush()) {
+      std::fprintf(stderr, "aitia: failed writing sarif output file: %s\n", sarif_path.c_str());
+      return kExitInputError;
+    }
+  }
+  if (!metrics_json_path.empty()) {
+    // Per-diagnosis delta, mirroring the report's "metrics" section (the
+    // daemon's --metrics-json dumps the whole process registry instead).
+    metrics_json_out << report.metrics.ToJson() << "\n";
+    if (!metrics_json_out.flush()) {
+      std::fprintf(stderr, "aitia: failed writing metrics output file: %s\n",
+                   metrics_json_path.c_str());
+      return kExitInputError;
+    }
+  }
+  if (const int64_t dropped =
+          obs::MetricsRegistry::Global().Snapshot().counter("trace.dropped");
+      dropped > 0 && trace_path.empty()) {
+    // With --trace the dump path already warned; surface ring saturation for
+    // metrics-only runs too so flight records are read with suspicion.
+    std::fprintf(stderr, "aitia: span ring dropped %lld event(s)\n",
+                 static_cast<long long>(dropped));
   }
 
   std::printf("%s\n", json ? ReportToJson(report, *scenario.image).c_str()

@@ -45,7 +45,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/prometheus.h"
 #include "src/svc/daemon.h"
+#include "src/svc/http.h"
 #include "src/tools/options.h"
 #include "src/util/log.h"
 #include "src/util/strings.h"
@@ -53,6 +56,22 @@
 namespace {
 
 using namespace aitia;
+
+// Metrics flight record. Registered with atexit and also written the moment
+// the drain starts, so hard exits — chaos drivers SIGKILLing mid-drain, a
+// cancel path that aborts — still leave a non-empty record behind instead of
+// the zero-byte probe file. The graceful path overwrites it with the final
+// snapshot.
+std::string g_metrics_json_path;
+
+void FlushMetricsJson() {
+  if (g_metrics_json_path.empty()) {
+    return;
+  }
+  std::ofstream out(g_metrics_json_path, std::ios::binary | std::ios::trunc);
+  out << svc::Daemon::MetricsJson() << "\n";
+  out.flush();
+}
 
 // Signal handling: the handler only writes one byte to a self-pipe; the
 // accept loop polls it alongside the listen socket, so a SIGTERM mid-accept
@@ -74,6 +93,8 @@ int Usage(FILE* to) {
                "  --port N            listen on 127.0.0.1:N (0 = ephemeral, printed on stdout)\n"
                "  --once              serve line-delimited JSON requests on stdin, respond on\n"
                "                      stdout, drain and exit 0 at EOF (no networking)\n"
+               "  --http-port N       HTTP scrape plane on 127.0.0.1:N (0 = ephemeral,\n"
+               "                      printed on stdout): /metrics /healthz /statusz\n"
                "  --workers N         diagnosis worker threads (default 2)\n"
                "  --queue-shards N    admission queue shards (default 4)\n"
                "  --shard-capacity N  queued requests per shard (default 8)\n"
@@ -158,10 +179,16 @@ void ServeConnection(ServerState* state, Connection* conn) {
         continue;
       }
       conn->pending.fetch_add(1);
-      state->daemon->Submit(std::move(line), [conn](std::string response) {
-        conn->WriteLine(response);
-        conn->pending.fetch_sub(1);
-      });
+      // Terminal responses and stream frames share the connection's
+      // mutex-guarded writer, and the daemon flushes every frame before the
+      // terminal — a mid-stream disconnect just drops writes on the floor.
+      state->daemon->Submit(
+          std::move(line),
+          [conn](std::string response) {
+            conn->WriteLine(response);
+            conn->pending.fetch_sub(1);
+          },
+          [conn](std::string frame) { conn->WriteLine(frame); });
     }
     buffer.erase(0, start);
     if (buffer.size() > state->max_line) {
@@ -183,12 +210,19 @@ void ServeConnection(ServerState* state, Connection* conn) {
 
 int RunOnce(svc::Daemon& daemon) {
   std::string line;
+  // Frames interleave with terminals on stdout; both are full lines, and
+  // HandleLine only returns after every frame of its request was printed.
+  std::mutex stdout_mu;
+  const auto print_line = [&stdout_mu](const std::string& text) {
+    std::lock_guard<std::mutex> lock(stdout_mu);
+    std::printf("%s\n", text.c_str());
+    std::fflush(stdout);
+  };
   while (std::getline(std::cin, line)) {
     if (line.empty()) {
       continue;
     }
-    std::printf("%s\n", daemon.HandleLine(line).c_str());
-    std::fflush(stdout);
+    print_line(daemon.HandleLine(line, print_line));
     if (daemon.shutdown_requested()) {
       break;
     }
@@ -197,7 +231,7 @@ int RunOnce(svc::Daemon& daemon) {
   return 0;
 }
 
-int RunServer(svc::Daemon& daemon, int port, size_t max_line) {
+int RunServer(svc::Daemon& daemon, int port, int http_port, size_t max_line) {
   if (pipe(g_signal_pipe) != 0) {
     std::perror("aitiad: pipe");
     return 1;
@@ -230,6 +264,28 @@ int RunServer(svc::Daemon& daemon, int port, size_t max_line) {
   // The parseable startup line drivers wait for (must be first on stdout).
   std::printf("aitiad: listening on 127.0.0.1:%d\n", ntohs(addr.sin_port));
   std::fflush(stdout);
+
+  // Scrape plane (optional): read-only views of the registry and the
+  // daemon's health; it keeps serving through the drain so a final scrape
+  // can capture the shutdown, and stops after it.
+  std::unique_ptr<svc::HttpServer> http;
+  if (http_port >= 0) {
+    svc::HttpServerOptions ho;
+    ho.port = http_port;
+    ho.metrics = [] {
+      return obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+    };
+    ho.statusz = [&daemon] { return daemon.StatusJson(); };
+    ho.healthy = [&daemon] { return !daemon.draining(); };
+    http = std::make_unique<svc::HttpServer>(ho);
+    if (const Status status = http->Start(); !status.ok()) {
+      std::fprintf(stderr, "aitiad: %s\n", status.ToString().c_str());
+      close(listen_fd);
+      return 1;
+    }
+    std::printf("aitiad: http on 127.0.0.1:%d\n", http->port());
+    std::fflush(stdout);
+  }
 
   ServerState state;
   state.daemon = &daemon;
@@ -273,7 +329,13 @@ int RunServer(svc::Daemon& daemon, int port, size_t max_line) {
                    << (sig != 0 ? strsignal(sig) : "shutdown request")
                    << " received, draining";
   close(listen_fd);
+  // Provisional flight record before the drain: if the hard-cancel path
+  // wedges or the process is killed mid-drain, the record is non-empty.
+  FlushMetricsJson();
   daemon.Drain();
+  if (http != nullptr) {
+    http->Stop();
+  }
   {
     std::lock_guard<std::mutex> lock(state.conns_mu);
     for (auto& conn : state.conns) {
@@ -297,6 +359,7 @@ int main(int argc, char** argv) {
   InitLogLevelFromEnv();
 
   int port = -1;
+  int http_port = -1;
   bool once = false;
   std::string metrics_json_path;
   svc::DaemonOptions options;
@@ -336,6 +399,11 @@ int main(int argc, char** argv) {
         return Usage(stderr);
       }
       port = static_cast<int>(value);
+    } else if (arg == "--http-port") {
+      if (!parse_u64(need_value(i, "--http-port"), value) || value > 65535) {
+        return Usage(stderr);
+      }
+      http_port = static_cast<int>(value);
     } else if (arg == "--workers") {
       if (!parse_u64(need_value(i, "--workers"), value)) return Usage(stderr);
       options.workers = value;
@@ -391,20 +459,26 @@ int main(int argc, char** argv) {
   options.triage_stages = aitia::tools::ResolveTriagePipeline(shared);
 
   // Probe the metrics destination upfront: an unwritable path must fail at
-  // startup, not swallow the flight record at exit.
+  // startup, not swallow the flight record at exit. The probe writes a
+  // provisional (near-empty) snapshot rather than zero bytes, and atexit
+  // re-flushes on *every* exit path — hard-cancel exits included — so chaos
+  // flight records are never empty.
   if (!metrics_json_path.empty()) {
     std::ofstream probe(metrics_json_path, std::ios::binary | std::ios::trunc);
-    if (!probe) {
+    if (!probe || !(probe << svc::Daemon::MetricsJson() << "\n").flush()) {
       std::fprintf(stderr, "aitiad: cannot open metrics output file: %s\n",
                    metrics_json_path.c_str());
       return 2;
     }
+    g_metrics_json_path = metrics_json_path;
+    std::atexit(FlushMetricsJson);
   }
 
   int exit_code;
   {
     svc::Daemon daemon(options);
-    exit_code = once ? RunOnce(daemon) : RunServer(daemon, port, options.max_request_bytes);
+    exit_code =
+        once ? RunOnce(daemon) : RunServer(daemon, port, http_port, options.max_request_bytes);
     daemon.Drain();
   }
   if (!metrics_json_path.empty()) {

@@ -1,0 +1,45 @@
+// SARIF 2.1.0 export of a diagnosis (DESIGN.md §15).
+//
+// Folds an AitiaReport into the Static Analysis Results Interchange Format
+// so CI systems and code-review UIs that understand SARIF (GitHub code
+// scanning, VS Code SARIF viewer) can render a kernel concurrency diagnosis
+// like any other analyzer finding:
+//
+//   - one rule per failure class (ruleId "aitia/<class>", e.g.
+//     "aitia/assert-violation"), so dashboards group by symptom;
+//   - the result's location is the failure point, resolved to a line of the
+//     scenario's canonical .ait serialization via ingest provenance (the
+//     serializer emits it, the parser's SourcePos maps instruction -> line;
+//     the .ait text ships inside the log as the artifact's contents, so the
+//     file:line references resolve without any checkout);
+//   - the causality chain and each root-cause race's flip/disappearance
+//     evidence become codeFlows: step through them in a SARIF viewer and you
+//     replay the diagnosis.
+//
+// Output is deterministic — no timestamps, no absolute paths, stable
+// ordering — so the flight-deck differential can byte-compare SARIF across
+// worker counts and feature toggles.
+
+#ifndef SRC_TOOLS_SARIF_H_
+#define SRC_TOOLS_SARIF_H_
+
+#include <string>
+
+#include "src/bugs/scenario.h"
+#include "src/core/aitia.h"
+#include "src/sim/failure.h"
+
+namespace aitia {
+namespace tools {
+
+// Stable SARIF rule id for a failure class: "aitia/<kebab-token>".
+std::string SarifRuleId(FailureType type);
+
+// Serializes one finished diagnosis as a complete SARIF 2.1.0 log (a single
+// run). A non-diagnosed report yields a valid log with zero results.
+std::string ReportToSarif(const BugScenario& scenario, const AitiaReport& report);
+
+}  // namespace tools
+}  // namespace aitia
+
+#endif  // SRC_TOOLS_SARIF_H_

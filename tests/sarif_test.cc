@@ -1,0 +1,166 @@
+// Tests for the SARIF 2.1.0 emitter (src/tools/sarif.h): strict JSON
+// well-formedness over the whole corpus, schema-level shape (rules, results,
+// codeFlows, artifacts), location round-trips — the reported startLine must
+// land on the failing instruction in the .ait text embedded in the log — and
+// byte-for-byte determinism.
+
+#include "src/tools/sarif.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/bugs/diagnose.h"
+#include "src/bugs/registry.h"
+#include "src/core/aitia.h"
+#include "src/ingest/serialize.h"
+#include "src/svc/jsonv.h"
+#include "tests/json_checker.h"
+
+namespace aitia {
+namespace {
+
+using svc::JsonValue;
+using svc::ParseJson;
+
+const JsonValue* Need(const JsonValue* v, const char* key) {
+  const JsonValue* found = v == nullptr ? nullptr : v->Find(key);
+  EXPECT_NE(found, nullptr) << "missing key: " << key;
+  return found;
+}
+
+// The `line`-th (1-based) line of `text`.
+std::string LineAt(const std::string& text, int64_t line) {
+  size_t begin = 0;
+  for (int64_t n = 1; n < line; ++n) {
+    const size_t nl = text.find('\n', begin);
+    if (nl == std::string::npos) {
+      return "";
+    }
+    begin = nl + 1;
+  }
+  const size_t end = text.find('\n', begin);
+  return text.substr(begin, end == std::string::npos ? std::string::npos : end - begin);
+}
+
+TEST(SarifTest, RuleIdsCoverEveryFailureClass) {
+  std::set<std::string> seen;
+  for (int t = 0; t <= static_cast<int>(FailureType::kWatchdog); ++t) {
+    const std::string id = tools::SarifRuleId(static_cast<FailureType>(t));
+    EXPECT_EQ(id.rfind("aitia/", 0), 0u) << id;
+    // Kebab-case, no spaces or uppercase: these ids key CI annotations.
+    for (char c : id.substr(6)) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-') << id;
+    }
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate rule id: " << id;
+  }
+}
+
+TEST(SarifTest, CorpusLogsAreValidAndWellShaped) {
+  for (const ScenarioEntry& entry : AllScenarios()) {
+    BugScenario scenario = entry.make();
+    const AitiaReport report = DiagnoseScenario(scenario, AitiaOptions());
+    const std::string sarif = tools::ReportToSarif(scenario, report);
+
+    std::string why;
+    ASSERT_TRUE(testing_json::IsValidJson(sarif, &why)) << entry.id << ": " << why;
+    auto parsed = ParseJson(sarif, 64);
+    ASSERT_TRUE(parsed.ok()) << entry.id << ": " << parsed.status().ToString();
+    const JsonValue& doc = *parsed;
+
+    EXPECT_EQ(Need(&doc, "version")->AsString(), "2.1.0") << entry.id;
+    EXPECT_NE(Need(&doc, "$schema")->AsString().find("sarif-2.1.0"), std::string::npos);
+    const JsonValue* runs = Need(&doc, "runs");
+    ASSERT_EQ(runs->items().size(), 1u) << entry.id;
+    const JsonValue& run = runs->items()[0];
+    const JsonValue* driver = Need(Need(&run, "tool"), "driver");
+    EXPECT_EQ(Need(driver, "name")->AsString(), "aitia") << entry.id;
+
+    // The artifact embeds the scenario's canonical serialization, so the log
+    // is self-contained: locations resolve against it with no repo checkout.
+    const JsonValue* artifacts = Need(&run, "artifacts");
+    ASSERT_EQ(artifacts->items().size(), 1u) << entry.id;
+    const std::string ait_text =
+        Need(Need(&artifacts->items()[0], "contents"), "text")->AsString();
+    EXPECT_EQ(ait_text, ScenarioToAit(scenario)) << entry.id;
+
+    const JsonValue* results = Need(&run, "results");
+    const JsonValue* rules = Need(driver, "rules");
+    if (!report.diagnosed || !report.lifs.failure.has_value()) {
+      EXPECT_TRUE(results->items().empty()) << entry.id;
+      EXPECT_TRUE(rules->items().empty()) << entry.id;
+      continue;
+    }
+
+    // Diagnosed: exactly one rule, one result, linked by ruleId.
+    ASSERT_EQ(rules->items().size(), 1u) << entry.id;
+    ASSERT_EQ(results->items().size(), 1u) << entry.id;
+    const JsonValue& result = results->items()[0];
+    const std::string rule_id = Need(&result, "ruleId")->AsString();
+    EXPECT_EQ(rule_id, Need(&rules->items()[0], "id")->AsString()) << entry.id;
+    EXPECT_EQ(rule_id, tools::SarifRuleId(report.lifs.failure->type)) << entry.id;
+    EXPECT_EQ(Need(&result, "level")->AsString(), "error") << entry.id;
+
+    // Location round-trip: the primary location's snippet must be the actual
+    // text at startLine of the embedded artifact.
+    const JsonValue* locations = Need(&result, "locations");
+    ASSERT_EQ(locations->items().size(), 1u) << entry.id;
+    const JsonValue* phys = Need(&locations->items()[0], "physicalLocation");
+    EXPECT_EQ(Need(Need(phys, "artifactLocation"), "uri")->AsString(),
+              scenario.id + ".ait");
+    const JsonValue* region = Need(phys, "region");
+    const int64_t start_line = Need(region, "startLine")->AsInt();
+    EXPECT_GE(start_line, 1) << entry.id;
+    if (const JsonValue* snippet = region->Find("snippet"); snippet != nullptr) {
+      EXPECT_EQ(Need(snippet, "text")->AsString(), LineAt(ait_text, start_line))
+          << entry.id << " startLine=" << start_line;
+    }
+
+    // codeFlows: the causality chain plus one evidence flow per root cause.
+    const JsonValue* flows = Need(&result, "codeFlows");
+    EXPECT_EQ(flows->items().size(), 1 + report.causality.root_cause_indices.size())
+        << entry.id;
+    for (const JsonValue& flow : flows->items()) {
+      const JsonValue* tf = Need(&flow, "threadFlows");
+      ASSERT_EQ(tf->items().size(), 1u) << entry.id;
+      const JsonValue* steps = Need(&tf->items()[0], "locations");
+      ASSERT_FALSE(steps->items().empty()) << entry.id;
+      // executionOrder is contiguous from 0 and every step's snippet (when
+      // present) round-trips through the embedded artifact.
+      int64_t want_order = 0;
+      for (const JsonValue& step : steps->items()) {
+        EXPECT_EQ(Need(&step, "executionOrder")->AsInt(), want_order++) << entry.id;
+        const JsonValue* sphys = Need(Need(&step, "location"), "physicalLocation");
+        const JsonValue* sregion = Need(sphys, "region");
+        if (const JsonValue* snippet = sregion->Find("snippet"); snippet != nullptr) {
+          EXPECT_EQ(Need(snippet, "text")->AsString(),
+                    LineAt(ait_text, Need(sregion, "startLine")->AsInt()))
+              << entry.id;
+        }
+      }
+    }
+
+    // The property bag carries one entry per tested race.
+    const JsonValue* props = Need(&result, "properties");
+    EXPECT_EQ(Need(props, "races")->items().size(), report.causality.tested.size())
+        << entry.id;
+    EXPECT_EQ(Need(props, "scenario")->AsString(), scenario.id);
+  }
+}
+
+TEST(SarifTest, EmissionIsDeterministic) {
+  BugScenario scenario = MakeScenario("fig-1");
+  const AitiaReport report = DiagnoseScenario(scenario, AitiaOptions());
+  const std::string first = tools::ReportToSarif(scenario, report);
+  const std::string second = tools::ReportToSarif(scenario, report);
+  EXPECT_EQ(first, second);
+  // Re-diagnosing must also reproduce the identical log (no timestamps, no
+  // pointers, no iteration-order leakage).
+  BugScenario again = MakeScenario("fig-1");
+  const AitiaReport repeat = DiagnoseScenario(again, AitiaOptions());
+  EXPECT_EQ(tools::ReportToSarif(again, repeat), first);
+}
+
+}  // namespace
+}  // namespace aitia
